@@ -1,0 +1,63 @@
+"""A4 — local CSE of address arithmetic on vs off.
+
+Subscript lowering recomputes addresses (a load and store of the same
+element each emit an ``add``), inflating the ALU's share of the resource
+bound.  Local value numbering removes the duplicates; this ablation
+measures how much of the initiation interval it buys back on the
+address-heavy kernels (flattened 2-D subscripts).
+"""
+
+from harness import report_table
+
+from repro import CompilerPolicy, WARP, compile_source
+from repro.simulator import run_and_check
+from repro.workloads import LIVERMORE_KERNELS, USER_PROGRAMS
+
+
+def _collect(cse):
+    policy = CompilerPolicy(cse=cse)
+    rows = {}
+    for name, source in (
+        ("livermore21", LIVERMORE_KERNELS[21].source),
+        ("matmul", USER_PROGRAMS["matmul"].source),
+        ("warshall", USER_PROGRAMS["warshall"].source),
+        ("conv3x3", USER_PROGRAMS["conv3x3"].source),
+    ):
+        compiled = compile_source(source, WARP, policy)
+        stats = run_and_check(compiled.code)
+        # Steady-state cost of the hottest loop: the initiation interval if
+        # pipelined, the whole body otherwise (CSE can be the difference
+        # between pipelining and not, e.g. conv3x3's address arithmetic).
+        cost = max(
+            loop.ii if loop.pipelined else loop.unpipelined_length
+            for loop in compiled.loops
+        )
+        rows[name] = (cost, stats.mflops)
+    return rows
+
+
+def _run_both():
+    return _collect(True), _collect(False)
+
+
+def test_cse_ablation(benchmark):
+    with_cse, without_cse = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    lines = [f"{'kernel':14s} {'ii (cse)':>9s} {'ii (no cse)':>12s}"
+             f" {'mflops (cse)':>13s} {'mflops (no)':>12s}"]
+    for name in with_cse:
+        lines.append(
+            f"{name:14s} {with_cse[name][0]:9d} {without_cse[name][0]:12d}"
+            f" {with_cse[name][1]:13.2f} {without_cse[name][1]:12.2f}"
+        )
+    assert all(
+        with_cse[name][0] <= without_cse[name][0] for name in with_cse
+    )
+    # At least one address-heavy kernel actually improves.
+    assert any(
+        with_cse[name][0] < without_cse[name][0] for name in with_cse
+    )
+    report_table(
+        "A4_cse",
+        "A4: local CSE of address arithmetic",
+        lines,
+    )

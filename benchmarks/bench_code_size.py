@@ -1,0 +1,63 @@
+"""E7 — section 2.4 code-size claims.
+
+The paper: with a compile-time trip count, pipelined code stays within a
+small constant of one iteration's code; the steady state is typically much
+shorter than the unpipelined loop (what matters for instruction buffers);
+and the two-version scheme bounds total code at about four times the
+unpipelined loop.
+"""
+
+import statistics
+
+from harness import report_table
+
+from repro import WARP, compile_source
+from repro.workloads import LIVERMORE_KERNELS, generate_suite
+
+
+def _collect():
+    rows = []
+    for program in generate_suite():
+        compiled = compile_source(program.source, WARP)
+        for loop in compiled.loops:
+            if loop.pipelined:
+                rows.append(loop)
+    for kernel in LIVERMORE_KERNELS.values():
+        compiled = compile_source(kernel.source, WARP)
+        for loop in compiled.loops:
+            if loop.pipelined:
+                rows.append(loop)
+    return rows
+
+
+def test_code_size_claims(benchmark):
+    loops = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    total_ratio = [
+        loop.total_size / loop.unpipelined_length for loop in loops
+    ]
+    steady_ratio = [
+        loop.ii / loop.unpipelined_length for loop in loops
+    ]
+    kernel_ratio = [
+        loop.kernel_size / loop.unpipelined_length for loop in loops
+    ]
+    lines = [
+        f"pipelined loops measured             : {len(loops)}",
+        f"total size / unpipelined loop        : mean"
+        f" {statistics.mean(total_ratio):.2f}x, max {max(total_ratio):.2f}x",
+        f"unrolled kernel / unpipelined loop   : mean"
+        f" {statistics.mean(kernel_ratio):.2f}x",
+        f"steady state (ii) / unpipelined loop : mean"
+        f" {statistics.mean(steady_ratio):.2f}x"
+        " (paper: the steady state is much shorter)",
+    ]
+    # The paper's instruction-buffer point: one initiation interval of
+    # steady state is far below the unpipelined body on average.
+    assert statistics.mean(steady_ratio) < 0.6
+    # And the whole pipelined construct stays within a small constant.
+    assert statistics.mean(total_ratio) < 8.0
+    report_table(
+        "E7_code_size",
+        "E7: section 2.4 — code size of pipelined loops",
+        lines,
+    )

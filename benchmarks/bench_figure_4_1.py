@@ -1,0 +1,44 @@
+"""E2 — Figure 4-1: MFLOPS distribution of the 72-program sample.
+
+The paper plots whole-array MFLOPS of 72 user programs.  We run the
+deterministic synthetic suite (DESIGN.md's stand-in for the proprietary
+sample) and render the same kind of distribution.
+"""
+
+from harness import report_table, text_histogram
+
+from repro import WARP, compile_source
+from repro.machine.warp import WARP_ARRAY_CELLS
+from repro.simulator import run_and_check
+from repro.workloads import generate_suite
+
+
+def _run_suite():
+    results = []
+    for program in generate_suite():
+        compiled = compile_source(program.source, WARP)
+        stats = run_and_check(compiled.code)
+        results.append((program, compiled, stats))
+    return results
+
+
+def test_figure_4_1(benchmark):
+    results = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+    array_mflops = [
+        stats.mflops * WARP_ARRAY_CELLS for _, _, stats in results
+    ]
+    lines = text_histogram(array_mflops, bucket_width=5.0, unit="MFLOPS")
+    lines.append("")
+    lines.append(f"programs: {len(results)} (paper: 72)")
+    lines.append(
+        f"median array MFLOPS: {sorted(array_mflops)[len(array_mflops)//2]:.1f}"
+    )
+    assert len(results) == 72
+    assert all(m >= 0 for m in array_mflops)
+    # A spread, not a spike: programs differ in available parallelism.
+    assert max(array_mflops) > 4 * (min(array_mflops) + 1e-9)
+    report_table(
+        "E2_figure_4_1",
+        "E2: Figure 4-1 — array MFLOPS over the 72-program suite",
+        lines,
+    )

@@ -1,0 +1,62 @@
+"""E5 — section 4.1 in-text scheduling statistics.
+
+The paper: "75% of all the loops are scheduled with an initiation interval
+matching the theoretical lower bound.  93% of the loops containing no
+conditional statements or connected components are pipelined perfectly.
+[...] Of the 25% of the loops for which the achieved initiation interval
+is greater than the lower bound, the average efficiency is 75%."
+"""
+
+import statistics
+
+from harness import report_table
+
+from repro import WARP, compile_source
+from repro.workloads import LIVERMORE_KERNELS, USER_PROGRAMS, generate_suite
+
+
+def _all_loop_reports():
+    reports = []
+    for program in generate_suite():
+        reports.extend(compile_source(program.source, WARP).loops)
+    for kernel in LIVERMORE_KERNELS.values():
+        reports.extend(compile_source(kernel.source, WARP).loops)
+    for user in USER_PROGRAMS.values():
+        reports.extend(compile_source(user.source, WARP).loops)
+    return reports
+
+
+def test_lower_bound_statistics(benchmark):
+    reports = benchmark.pedantic(_all_loop_reports, rounds=1, iterations=1)
+    pipelined = [r for r in reports if r.pipelined]
+    at_bound = [r for r in pipelined if r.achieved_lower_bound]
+    simple = [
+        r for r in pipelined
+        if not r.has_conditionals and not r.has_recurrence
+    ]
+    simple_at_bound = [r for r in simple if r.achieved_lower_bound]
+    above = [r for r in pipelined if not r.achieved_lower_bound]
+
+    pct = 100.0 * len(at_bound) / len(pipelined)
+    simple_pct = 100.0 * len(simple_at_bound) / max(1, len(simple))
+    above_eff = (
+        statistics.mean(r.efficiency for r in above) if above else 1.0
+    )
+
+    lines = [
+        f"loops considered                    : {len(reports)}",
+        f"loops pipelined                     : {len(pipelined)}",
+        f"pipelined at the lower bound        : {len(at_bound)}"
+        f" ({pct:.0f}%, paper: 75% of all loops)",
+        f"no conditionals/recurrences at bound: {simple_pct:.0f}%"
+        f" (paper: 93%)",
+        f"mean efficiency when above the bound: {above_eff:.0%}"
+        f" (paper: 75%)",
+    ]
+    assert pct >= 70.0
+    assert simple_pct >= 85.0
+    report_table(
+        "E5_lowerbound_stats",
+        "E5: section 4.1 — how often the II lower bound is achieved",
+        lines,
+    )

@@ -1,0 +1,91 @@
+"""E0 — the worked example of section 2.
+
+"Suppose we wish to add a constant to a vector of data": on a machine with
+a one-stage-pipelined adder the compacted iteration takes 4 cycles, but an
+iteration can be initiated every cycle, for a 4x speedup — the paper's
+introductory numbers.
+"""
+
+from harness import report_table
+
+from repro.core.compile import CompilerPolicy, compile_program
+from repro.ir import ProgramBuilder
+from repro.machine import make_custom
+from repro.simulator import run_and_check
+
+# The section-2 machine: one-stage-pipelined adder (latency 2: issue plus
+# one pipeline stage), single-cycle memory, enough ports that the 4-cycle
+# sequential iteration is bound by the Read -> Add -> Write chain alone.
+SECTION2_MACHINE = make_custom(
+    "section2",
+    {"fadd": 1, "fmul": 1, "alu": 1, "mem": 2, "seq": 1},
+    fadd_latency=2,
+    fmul_latency=2,
+    load_latency=1,
+    clock_mhz=5.0,
+)
+
+N = 100
+
+
+def _vector_add():
+    pb = ProgramBuilder("section2")
+    pb.array("a", N + 8)
+    with pb.loop("i", 0, N - 1) as body:
+        body.store("a", body.var, body.fadd(body.load("a", body.var), 1.0))
+    return pb.finish()
+
+
+def _run():
+    program = _vector_add()
+    pipelined = compile_program(program, SECTION2_MACHINE)
+    fast = run_and_check(pipelined.code)
+    baseline = compile_program(
+        program, SECTION2_MACHINE, CompilerPolicy(pipeline=False)
+    )
+    slow = run_and_check(baseline.code)
+    report = pipelined.loops[0]
+    return report, fast, slow
+
+
+def _run_on_warp():
+    """The same loop on the Warp cell: 'In the case of the Warp cell,
+    software pipelining speeds up this loop by nine times.'"""
+    from repro.machine import WARP
+
+    pb = ProgramBuilder("section2_warp")
+    pb.array("a", 1024)
+    with pb.loop("i", 0, 999) as body:
+        body.store("a", body.var, body.fadd(body.load("a", body.var), 1.0))
+    program = pb.finish()
+    fast = run_and_check(compile_program(program, WARP).code)
+    slow = run_and_check(
+        compile_program(program, WARP, CompilerPolicy(pipeline=False)).code
+    )
+    return slow.cycles / fast.cycles
+
+
+def test_section2_example(benchmark):
+    report, fast, slow = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert report.pipelined
+    assert report.ii == 1, "the example initiates one iteration per cycle"
+    speedup = slow.cycles / fast.cycles
+    assert speedup > 3.0, "the paper reports a 4x speedup"
+    # The paper reports ~9x on the Warp cell; in our model the compacted
+    # iteration is 12 cycles (one 7-cycle fadd) against ii=2, bounding the
+    # ratio at 6x — the shape (large, near the compaction ratio) holds.
+    warp_speedup = _run_on_warp()
+    assert warp_speedup > 5.0
+    report_table(
+        "E0_section2_example",
+        "E0: section 2 worked example (vector + constant)",
+        [
+            f"initiation interval          : {report.ii} cycle (paper: 1)",
+            f"unpipelined iteration length : {report.unpipelined_length} cycles (paper: 4)",
+            f"cycles, pipelined ({N} iter) : {fast.cycles}",
+            f"cycles, locally compacted    : {slow.cycles}",
+            f"speedup                      : {speedup:.2f}x (paper: 4x)",
+            f"same loop on the Warp cell   : {warp_speedup:.2f}x"
+            " (paper: 'speeds up this loop by nine times')",
+        ],
+    )

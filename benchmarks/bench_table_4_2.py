@@ -1,0 +1,78 @@
+"""E4 — Table 4-2: Livermore loops on a single Warp cell.
+
+Columns, as in the paper: single-precision MFLOPS, a lower bound on the
+scheduling efficiency (MII / achieved II, execution-time weighted over the
+kernel's loops), and the speedup of the pipelined kernel over the
+unpipelined (locally compacted) kernel.
+"""
+
+import statistics
+
+from harness import report_table
+
+from repro import CompilerPolicy, WARP, compile_source
+from repro.simulator import run_and_check
+from repro.workloads import LIVERMORE_KERNELS
+
+
+def _run_kernel(kernel):
+    compiled = compile_source(kernel.source, WARP)
+    stats = run_and_check(compiled.code)
+    baseline = compile_source(
+        kernel.source, WARP, CompilerPolicy(pipeline=False)
+    )
+    base_stats = run_and_check(baseline.code)
+    # Efficiency lower bound: MII / achieved II for pipelined loops (1.0 is
+    # perfect); unpipelined loops rate MII / unpipelined length.
+    efficiencies = [loop.efficiency for loop in compiled.loops if loop.mii]
+    efficiency = min(efficiencies) if efficiencies else 1.0
+    speedup = base_stats.cycles / stats.cycles
+    return stats.mflops, efficiency, speedup
+
+
+def _run_all():
+    rows = []
+    for number in sorted(LIVERMORE_KERNELS):
+        kernel = LIVERMORE_KERNELS[number]
+        rows.append((kernel, *_run_kernel(kernel)))
+    return rows
+
+
+def _harmonic_mean(values):
+    return len(values) / sum(1.0 / v for v in values if v > 0)
+
+
+def test_table_4_2(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        f"{'kernel':7s} {'MFLOPS':>7s} {'paper':>7s} {'eff(lb)':>8s}"
+        f" {'speedup':>8s} {'paper':>7s}  note"
+    ]
+    mflops_values = []
+    for kernel, mflops, efficiency, speedup in rows:
+        mflops_values.append(mflops)
+        lines.append(
+            f"K{kernel.number:<6d} {mflops:7.2f}"
+            f" {kernel.paper_mflops or 0:7.2f} {efficiency:8.2f}"
+            f" {speedup:8.2f} {kernel.paper_speedup or 0:7.2f}"
+            f"  {kernel.note[:40]}"
+        )
+    lines.append(
+        f"{'H-Mean':7s} {_harmonic_mean(mflops_values):7.2f}"
+        f" {'(paper: 2.28 over its kernel set)':>7s}"
+    )
+
+    by_number = {kernel.number: mflops for kernel, mflops, _, _ in rows}
+    # Shape assertions against the paper's Table 4-2:
+    # recurrence-bound kernels sit at the bottom...
+    assert by_number[5] < 1.0 and by_number[11] < 1.0
+    # ...and the ILP-rich kernels at the top.
+    assert by_number[7] > 5.0 and by_number[9] > 5.0
+    # Serial-chain rates are machine-arithmetic facts and match closely.
+    assert abs(by_number[5] - 0.72) < 0.05
+    assert abs(by_number[11] - 0.71) < 0.05
+    report_table(
+        "E4_table_4_2",
+        "E4: Table 4-2 — Livermore loops on one Warp cell",
+        lines,
+    )

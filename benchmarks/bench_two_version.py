@@ -1,0 +1,70 @@
+"""Section 2.4 — the two-version scheme for runtime trip counts.
+
+"Before the loop is executed, the values of n and k are compared.  If
+n < k, then all n iterations are executed using the unpipelined code.
+Otherwise, we execute (n-k) mod u iterations using the unpipelined code,
+and the rest on the pipelined loop. [...] the total code size is at most
+four times the size of the unpipelined loop."
+"""
+
+from harness import report_table
+
+from repro.core.compile import compile_program
+from repro.ir import INT, ProgramBuilder
+from repro.machine import WARP
+from repro.simulator import run_and_check
+
+
+def _dynamic_program():
+    pb = ProgramBuilder("dyn")
+    pb.array("a", 600)
+    pb.array("nbox", 2, INT)
+    n = pb.load("nbox", 0)
+    with pb.loop("i", 0, n) as body:
+        x = body.load("a", body.var)
+        body.store("a", body.var, body.fadd(x, 1.5))
+    return pb.finish()
+
+
+def _run():
+    program = _dynamic_program()
+    compiled = compile_program(program, WARP)
+    report = compiled.loops[0]
+    rows = []
+    for runtime_n in (1, 5, 10, 11, 50, 200, 500):
+        def init(name, index, bound=runtime_n - 1):
+            return bound if name == "nbox" else 0.25 * index
+
+        stats = run_and_check(compiled.code, array_init=init)
+        rows.append((runtime_n, stats.cycles, stats.cycles / runtime_n))
+    return compiled, report, rows
+
+
+def test_two_version_scheme(benchmark):
+    compiled, report, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    threshold = (report.stage_count - 1) + report.unroll
+    lines = [
+        f"loop: ii={report.ii}, k={report.stage_count - 1},"
+        f" unroll={report.unroll}, dispatch threshold n >= {threshold}",
+        f"code size: {report.total_size} instructions"
+        f" ({report.total_size / report.unpipelined_length:.1f}x the"
+        f" unpipelined loop of {report.unpipelined_length})",
+        "",
+        f"{'runtime n':>10s} {'cycles':>8s} {'cycles/iter':>12s}",
+    ]
+    for runtime_n, cycles, per_iter in rows:
+        version = "unpipelined" if runtime_n < threshold else "pipelined"
+        lines.append(
+            f"{runtime_n:10d} {cycles:8d} {per_iter:12.2f}  ({version})"
+        )
+    assert report.two_version
+    by_n = {n: per for n, _, per in rows}
+    # Long trip counts converge on the initiation interval...
+    assert by_n[500] < report.ii * 1.2
+    # ...short ones pay only the unpipelined body.
+    assert by_n[1] <= report.unpipelined_length + 16
+    report_table(
+        "S24_two_version",
+        "Section 2.4: runtime trip counts via the two-version scheme",
+        lines,
+    )

@@ -1,0 +1,13 @@
+"""Benchmark conftest: echoes every reproduced table in the summary."""
+
+from harness import _TABLES
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for _name, text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

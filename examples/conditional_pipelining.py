@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hierarchical reduction: software pipelining a loop with conditionals.
+
+Section 3 of the paper: a conditional statement is reduced to a single
+node — length = the longer arm, resources = the union of both arms — so
+the loop around it can still be software pipelined.  This example builds
+an image-thresholding loop, shows the conditional's effect on the
+initiation interval, and compares three configurations:
+
+  1. full compiler (hierarchical reduction + pipelining),
+  2. pipelining with overlappable conditionals (dispatch-only policy),
+  3. basic-block compaction only (no motion across the conditional).
+
+Run with:  python examples/conditional_pipelining.py
+"""
+
+from repro import WARP, CompilerPolicy, compile_source
+from repro.simulator import run_and_check
+
+SOURCE = """
+program threshold;
+var img: array[512] of float;
+    out: array[512] of float;
+    hi: float; lo: float;
+begin
+  hi := 0.75;
+  lo := 0.25;
+  for i := 0 to 499 do begin
+    if img[i] > 0.5 then
+      out[i] := img[i] * hi + 0.1
+    else
+      out[i] := img[i] * lo - 0.1;
+  end;
+end.
+"""
+
+
+def show(label: str, policy: CompilerPolicy) -> None:
+    compiled = compile_source(SOURCE, WARP, policy)
+    stats = run_and_check(compiled.code)
+    loop = compiled.loops[0]
+    if loop.pipelined:
+        detail = (f"ii={loop.ii} (mii={loop.mii}), "
+                  f"{loop.stage_count} stages, unroll {loop.unroll}")
+    else:
+        detail = f"not pipelined ({loop.reason})"
+    print(f"{label:34s} {stats.cycles:6d} cycles  "
+          f"{stats.mflops:5.2f} MFLOPS   {detail}")
+
+
+def main() -> None:
+    print(SOURCE)
+    print("Both arms of the IF are scheduled independently, then the whole")
+    print("construct becomes one node whose reservation table is the")
+    print("entrywise max of the two arms.\n")
+    show("pipelined (paper's treatment)", CompilerPolicy())
+    show("pipelined (overlappable IFs)", CompilerPolicy(serialize_ifs=False))
+    show("locally compacted baseline", CompilerPolicy(pipeline=False))
+    print("\nThe conditional keeps the sequencer busy for its whole extent")
+    print("under the paper's treatment, which raises the initiation")
+    print("interval of conditional loops (the Table 4-2 efficiency gap) —")
+    print("but without hierarchical reduction the loop could not be")
+    print("pipelined at all.")
+
+
+if __name__ == "__main__":
+    main()

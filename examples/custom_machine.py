@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Retargeting: how machine parameters shape the initiation interval.
+
+The scheduler reads everything it knows about the target from a
+MachineDescription, so exploring architectures is a one-liner.  This
+example compiles the same dot-product loop for:
+
+  * the Warp cell (1 adder, 1 multiplier, 1 memory port, 7-cycle FPUs),
+  * a "wide" machine with two of every unit,
+  * a short-pipeline machine (3-cycle FPUs),
+
+and shows how the resource bound and the recurrence bound trade places —
+the paper's section 6 point that recurrences, not hardware width, limit
+VLIW scalability.
+
+Run with:  python examples/custom_machine.py
+"""
+
+from repro import WARP, compile_source, make_custom, make_warp
+from repro.simulator import run_and_check
+
+SOURCE = """
+program dot;
+var x: array[512] of float;
+    y: array[512] of float;
+    out: array[2] of float;
+    s: float;
+begin
+  s := 0.0;
+  for i := 0 to 399 do
+    s := s + x[i] * y[i];
+  out[0] := s;
+end.
+"""
+
+MACHINES = [
+    ("warp cell", WARP),
+    (
+        "wide (2x units)",
+        make_custom(
+            "wide",
+            {"fadd": 2, "fmul": 2, "alu": 2, "mem": 2, "seq": 1},
+            fadd_latency=7, fmul_latency=7, load_latency=4,
+            num_registers=256,
+        ),
+    ),
+    ("short pipes (3-cycle FPUs)", make_warp(fp_latency=3)),
+    (
+        "wide + short pipes",
+        make_custom(
+            "wide-short",
+            {"fadd": 2, "fmul": 2, "alu": 2, "mem": 2, "seq": 1},
+            fadd_latency=3, fmul_latency=3, load_latency=2,
+            num_registers=256,
+        ),
+    ),
+]
+
+
+def main() -> None:
+    print(SOURCE)
+    print(f"{'machine':28s} {'ii':>4s} {'resource':>9s} {'recurrence':>11s}"
+          f" {'MFLOPS':>8s}")
+    for name, machine in MACHINES:
+        compiled = compile_source(SOURCE, machine)
+        stats = run_and_check(compiled.code)
+        loop = compiled.loops[0]
+        print(f"{name:28s} {loop.ii or loop.unpipelined_length:4d}"
+              f" {loop.resource_mii:9d} {loop.recurrence_mii:11d}"
+              f" {stats.mflops:8.2f}")
+    print("\nThe accumulation s := s + x*y serialises on the adder's")
+    print("latency: widening the machine does not help (recurrence-bound),")
+    print("shortening the pipeline does — exactly the paper's scalability")
+    print("observation in section 6.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Baselines the paper compares against.
+
+* :func:`compile_locally_compacted` — basic-block compaction only, no
+  motion across iterations: the baseline of Figure 4-2.
+* :mod:`repro.baselines.unroll` — source unrolling + compaction of the
+  unrolled body, the loop-handling strategy of trace scheduling (section 5
+  and the Weiss & Smith comparison): pipelines fill and drain at the
+  boundary of each unrolled super-iteration, so throughput approaches but
+  never reaches the software-pipelined optimum while code size grows
+  linearly in the unroll factor.
+* :mod:`repro.baselines.trace` — a simplified trace scheduler for static
+  analysis of the section-5 comparison: compacts the most likely trace of
+  a loop body and counts the bookkeeping copies trace scheduling would
+  add at off-trace entries/exits.
+"""
+
+from repro.baselines.local import compile_locally_compacted
+from repro.baselines.unroll import unroll_program, compile_unrolled
+from repro.baselines.trace import TraceReport, trace_schedule_loop
+
+__all__ = [
+    "compile_locally_compacted",
+    "unroll_program",
+    "compile_unrolled",
+    "TraceReport",
+    "trace_schedule_loop",
+]

@@ -1,0 +1,185 @@
+"""Source unrolling + compaction (the section-5 / Weiss-Smith baseline).
+
+Innermost loops are unrolled ``factor`` times at the IR level: each copy
+gets fresh names for its iteration-private registers (so the compactor can
+overlap copies), induction-variable uses in copy ``c`` are rewritten to
+``iv + c*step``, and the loop steps by ``factor * step``.  Left-over
+iterations run in a peel copy of the original loop.  The unrolled program
+is then compiled with software pipelining disabled, so the unrolled body is
+compacted as one block — precisely how trace scheduling handles loops
+("trace scheduling relies primarily on source code unrolling").
+
+The characteristic result the paper argues for: throughput improves with
+the unroll factor but never reaches the pipelined optimum, because the
+hardware pipelines still fill and drain at every unrolled-iteration
+boundary, while code size grows linearly.
+"""
+
+from __future__ import annotations
+
+from repro.core.compile import CompiledProgram, CompilerPolicy, compile_program
+from repro.ir.operands import Imm, Operand, Reg
+from repro.ir.ops import Opcode, Operation
+from repro.ir.scan import collect_defs
+from repro.ir.stmts import ForLoop, IfStmt, Program, Stmt
+from repro.machine.description import MachineDescription
+
+
+def _first_accesses(stmts: list[Stmt], reads: dict[Reg, bool],
+                    defined: set[Reg]) -> None:
+    """Record, for every register, whether its first access on some path is
+    a read (used to find carried registers that must not be renamed)."""
+    for stmt in stmts:
+        if isinstance(stmt, Operation):
+            for reg in stmt.src_regs:
+                if reg not in defined:
+                    reads.setdefault(reg, True)
+            if stmt.dest is not None:
+                reads.setdefault(stmt.dest, False)
+                defined.add(stmt.dest)
+        elif isinstance(stmt, IfStmt):
+            if isinstance(stmt.cond, Reg) and stmt.cond not in defined:
+                reads.setdefault(stmt.cond, True)
+            for arm in (stmt.then_body, stmt.else_body):
+                _first_accesses(arm, reads, set(defined))
+        elif isinstance(stmt, ForLoop):
+            _first_accesses(stmt.body, reads, set(defined))
+
+
+def _substitute(operand: Operand, mapping: dict[Reg, Operand]) -> Operand:
+    if isinstance(operand, Reg):
+        return mapping.get(operand, operand)
+    return operand
+
+
+def _clone(stmts: list[Stmt], mapping: dict[Reg, Operand],
+           rename: dict[Reg, Reg]) -> list[Stmt]:
+    out: list[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Operation):
+            srcs = tuple(_substitute(src, mapping) for src in stmt.srcs)
+            dest = stmt.dest
+            if dest is not None and dest in rename:
+                dest = rename[dest]
+            out.append(stmt.with_operands(dest, srcs))
+        elif isinstance(stmt, IfStmt):
+            out.append(
+                IfStmt(
+                    _substitute(stmt.cond, mapping),
+                    _clone(stmt.then_body, mapping, rename),
+                    _clone(stmt.else_body, mapping, rename),
+                )
+            )
+        else:
+            raise TypeError(f"cannot unroll a body containing {stmt!r}")
+    return out
+
+
+def unroll_loop(loop: ForLoop, factor: int, tag: str) -> list[Stmt]:
+    """Unrolled replacement statements for one innermost loop."""
+    trip = loop.trip_count
+    if factor < 2 or trip is None or trip < factor:
+        return [loop]
+    if not isinstance(loop.start, Imm):
+        return [loop]
+    main_trip = (trip // factor) * factor
+
+    reads: dict[Reg, bool] = {}
+    _first_accesses(loop.body, reads, set())
+    defined = collect_defs(loop.body)
+    # Registers whose first access is a read carry values between copies
+    # (accumulators); they keep their names so the chain stays serial.
+    private = {
+        reg for reg in defined
+        if reg != loop.var and not reads.get(reg, False)
+    }
+
+    body: list[Stmt] = []
+    for copy in range(factor):
+        mapping: dict[Reg, Operand] = {}
+        rename: dict[Reg, Reg] = {}
+        for reg in private:
+            fresh = Reg(f"{reg.name}.{tag}{copy}", reg.kind)
+            rename[reg] = fresh
+            mapping[reg] = fresh
+        if copy:
+            shifted = Reg(f"{loop.var.name}.{tag}{copy}", loop.var.kind)
+            body.append(
+                Operation(Opcode.ADD, shifted,
+                          (loop.var, Imm(copy * loop.step)))
+            )
+            mapping[loop.var] = shifted
+        body.extend(_clone(loop.body, mapping, rename))
+
+    start = loop.start
+    assert isinstance(start, Imm)
+    main_stop = Imm(start.value + (main_trip - 1) * loop.step)
+    unrolled = ForLoop(loop.var, start, main_stop, body,
+                       loop.step * factor)
+    result: list[Stmt] = [unrolled]
+    if main_trip < trip:
+        peel_var = Reg(f"{loop.var.name}.{tag}p", loop.var.kind)
+        peel_map: dict[Reg, Operand] = {loop.var: peel_var}
+        result.append(
+            ForLoop(
+                peel_var,
+                Imm(start.value + main_trip * loop.step),
+                loop.stop,
+                _clone(loop.body, peel_map, {}),
+                loop.step,
+            )
+        )
+    return result
+
+
+def unroll_program(program: Program, factor: int) -> Program:
+    """Unroll every innermost loop of ``program`` by ``factor``."""
+    counter = [0]
+
+    def rewrite(stmts: list[Stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, ForLoop):
+                inner = rewrite(stmt.body)
+                if inner == stmt.body and not any(
+                    isinstance(s, ForLoop) for s in _walk_all(stmt.body)
+                ):
+                    counter[0] += 1
+                    out.extend(unroll_loop(stmt, factor, f"u{counter[0]}"))
+                else:
+                    out.append(
+                        ForLoop(stmt.var, stmt.start, stmt.stop, inner, stmt.step)
+                    )
+            elif isinstance(stmt, IfStmt):
+                out.append(
+                    IfStmt(stmt.cond, rewrite(stmt.then_body),
+                           rewrite(stmt.else_body))
+                )
+            else:
+                out.append(stmt)
+        return out
+
+    def _walk_all(stmts: list[Stmt]):
+        for stmt in stmts:
+            yield stmt
+            if isinstance(stmt, ForLoop):
+                yield from _walk_all(stmt.body)
+            elif isinstance(stmt, IfStmt):
+                yield from _walk_all(stmt.then_body)
+                yield from _walk_all(stmt.else_body)
+
+    return Program(program.name, dict(program.arrays), rewrite(program.body))
+
+
+def compile_unrolled(
+    program: Program,
+    machine: MachineDescription,
+    factor: int,
+    policy: CompilerPolicy = CompilerPolicy(),
+) -> CompiledProgram:
+    """Unroll, then compact each unrolled body as one block (no software
+    pipelining)."""
+    from dataclasses import replace
+
+    unrolled = unroll_program(program, factor)
+    return compile_program(unrolled, machine, replace(policy, pipeline=False))

@@ -1,0 +1,115 @@
+"""Scheduling strongly connected components (Lam 1988, section 2.2.2).
+
+Nodes of one component are scheduled in a topological ordering of the
+*intra-iteration* (zero iteration difference) edges.  Because the component
+is strongly connected, fixing any node's time bounds every other node's time
+from below *and* above; the legal window is the node's *precedence
+constrained range*, derived from the precomputed all-points longest paths
+with the symbolic initiation interval substituted by the actual value.  A
+node is placed at the earliest resource-feasible slot inside its range; if
+the range (capped at ``s`` slots) has no feasible slot the attempt fails and
+the driver retries with a larger initiation interval.
+
+Both desirable heuristic properties from the paper hold by construction:
+partial schedules always satisfy all precedence constraints, and the ranges
+widen as the initiation interval grows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.mrt import ModuloReservationTable
+from repro.deps.graph import DepEdge, DepNode
+from repro.deps.paths import NEG_INF, SymbolicPaths
+from repro.machine.description import MachineDescription
+from repro.machine.resources import ReservationTable
+
+
+@dataclass
+class Cluster:
+    """A scheduled component, condensed to a single schedulable vertex.
+
+    ``offsets`` give each member's issue time relative to the cluster
+    start; ``reservation`` is the aggregate usage of all members.
+    """
+
+    members: list[DepNode]
+    offsets: dict[int, int]
+    reservation: ReservationTable
+
+    @property
+    def span(self) -> int:
+        return max(
+            self.offsets[node.index] + node.length for node in self.members
+        )
+
+    def offset_of(self, node: DepNode) -> int:
+        return self.offsets[node.index]
+
+
+def _zero_omega_order(
+    component: Sequence[DepNode], edges: Sequence[DepEdge]
+) -> list[DepNode]:
+    """Topological order of the intra-iteration edges within the component.
+
+    Zero-omega edges always increase the source index (see
+    :mod:`repro.deps.build`), so source order is such an ordering.
+    """
+    return sorted(component, key=lambda node: node.index)
+
+
+def schedule_component(
+    component: Sequence[DepNode],
+    paths: SymbolicPaths,
+    s: int,
+    machine: MachineDescription,
+) -> Optional[Cluster]:
+    """Schedule one strongly connected component for initiation interval
+    ``s``, against a private modulo reservation table.
+
+    Returns ``None`` when no placement exists within some node's
+    precedence-constrained range.
+    """
+    mrt = ModuloReservationTable(machine, s)
+    order = _zero_omega_order(component, [])
+    times: dict[int, int] = {}
+    scheduled: list[DepNode] = []
+
+    for node in order:
+        if not scheduled:
+            time = mrt.earliest_fit(node.reservation, 0)
+            if time is None:
+                return None
+        else:
+            low: float = NEG_INF
+            high: float = math.inf
+            for other in scheduled:
+                forward = paths.evaluate(other, node, s)
+                if forward != NEG_INF:
+                    low = max(low, times[other.index] + forward)
+                backward = paths.evaluate(node, other, s)
+                if backward != NEG_INF:
+                    high = min(high, times[other.index] - backward)
+            if low == NEG_INF:
+                low = 0
+            if low > high:
+                return None
+            latest = None if high == math.inf else int(high)
+            time = mrt.earliest_fit(node.reservation, int(low), latest)
+            if time is None:
+                return None
+        mrt.place(node.reservation, time)
+        times[node.index] = time
+        scheduled.append(node)
+
+    base = min(times.values())
+    offsets = {index: time - base for index, time in times.items()}
+    reservation = ReservationTable()
+    for node in component:
+        reservation = reservation.merged(
+            node.reservation.shifted(offsets[node.index])
+        )
+    return Cluster(list(component), offsets, reservation)

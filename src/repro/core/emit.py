@@ -1,0 +1,583 @@
+"""Object-code emission (Lam 1988, sections 2.3, 2.4, 3.1).
+
+A compiled program is a tree of *regions* over *wide instructions*.  Each
+wide instruction is one machine cycle; each of its slots is one operation
+over physical registers.  A software-pipelined loop becomes a
+:class:`PipelinedLoopRegion`: a prolog that initiates ``k`` iterations, a
+steady-state kernel of ``unroll * ii`` instructions ending in the loop-back
+branch, and an epilog that drains the ``k`` iterations still in flight.
+
+Conditionals are emitted as predicated slots: the reduced IF node's
+dispatch (``cbr``) records the branch outcome for its dynamic instance
+(static construct x iteration number), and the slots of both arms carry
+predicates naming the outcome they need.  The real Warp compiler emitted
+two code sequences and let the sequencer pick one; the predicated encoding
+is timing-identical because scheduling already charged the node with the
+union of both arms (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.core.mve import ExpansionPlan
+from repro.core.reduction import ReducedIf
+from repro.core.schedule import BlockSchedule, KernelSchedule
+from repro.deps.graph import DepNode
+from repro.ir.operands import FLOAT, INT, Imm, Operand, Reg
+from repro.ir.ops import Opcode, Operation
+from repro.ir.stmts import Program
+from repro.machine.description import MachineDescription
+
+
+class RegisterPressureError(Exception):
+    """The program needs more physical registers than the machine has."""
+
+
+class RegisterAllocator:
+    """Maps virtual registers (and expansion copies) to physical registers.
+
+    Physical registers are themselves :class:`Reg` values named ``R<n>``,
+    so the simulator and printers need no second operand type.
+    """
+
+    def __init__(self, machine: MachineDescription) -> None:
+        self.machine = machine
+        self._map: dict[tuple[Reg, Optional[int]], Reg] = {}
+
+    def _fresh(self, kind: str) -> Reg:
+        number = len(self._map)
+        if number >= self.machine.num_registers:
+            raise RegisterPressureError(
+                f"out of registers: machine {self.machine.name!r} has"
+                f" {self.machine.num_registers}"
+            )
+        return Reg(f"R{number}", kind)
+
+    def scalar(self, reg: Reg) -> Reg:
+        key = (reg, None)
+        if key not in self._map:
+            self._map[key] = self._fresh(reg.kind)
+        return self._map[key]
+
+    def copy_reg(self, reg: Reg, copy: int) -> Reg:
+        key = (reg, copy)
+        if key not in self._map:
+            self._map[key] = self._fresh(reg.kind)
+        return self._map[key]
+
+    @property
+    def count(self) -> int:
+        return len(self._map)
+
+
+# -- code structures ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlotOp:
+    """One operation slot inside a wide instruction.
+
+    iteration
+        Which loop iteration the slot belongs to, relative to its region's
+        base (see each region type for the base rule).  Zero outside loops.
+    preds
+        Conditional-outcome guards: ``(uid, "then"|"else")`` pairs that must
+        all match recorded outcomes for the slot to take effect.
+    cbr_uid
+        For dispatch slots: the static conditional this slot resolves.
+    """
+
+    op: Operation
+    iteration: int = 0
+    preds: tuple[tuple[int, str], ...] = ()
+    cbr_uid: Optional[int] = None
+
+
+@dataclass
+class WideInstruction:
+    slots: list[SlotOp] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        body = "; ".join(repr(slot.op) for slot in self.slots) or "nop"
+        return f"[{body}]"
+
+
+@dataclass(frozen=True)
+class TripSpec:
+    """Trip count ``max(0, (stop - start) // step + 1)`` evaluated at region
+    entry from physical-register (or immediate) bounds."""
+
+    start: Operand
+    stop: Operand
+    step: int = 1
+
+    def evaluate(self, read: Callable[[Operand], float]) -> int:
+        start = int(read(self.start))
+        stop = int(read(self.stop))
+        if self.step > 0:
+            return max(0, (stop - start) // self.step + 1)
+        return max(0, (start - stop) // (-self.step) + 1)
+
+
+@dataclass(frozen=True)
+class PeelCount:
+    """Iterations to run on the unpipelined copy before a pipelined loop
+    with a runtime trip count: ``(n - k) mod u`` (paper, section 2.4)."""
+
+    trip: TripSpec
+    started_in_prolog: int
+    unroll: int
+
+    def evaluate(self, read: Callable[[Operand], float]) -> int:
+        n = self.trip.evaluate(read)
+        return (n - self.started_in_prolog) % self.unroll
+
+
+@dataclass(frozen=True)
+class PipelinePasses:
+    """Kernel passes for a runtime trip count: ``(n - k) div u`` after the
+    peel has removed the remainder."""
+
+    trip: TripSpec
+    started_in_prolog: int
+    unroll: int
+
+    def evaluate(self, read: Callable[[Operand], float]) -> int:
+        n = self.trip.evaluate(read)
+        return (n - self.started_in_prolog) // self.unroll
+
+
+#: Anything a region can carry as a pass count.
+Passes = Union[int, TripSpec, PeelCount, PipelinePasses]
+
+
+@dataclass
+class BlockRegion:
+    """Straight-line wide instructions."""
+
+    instructions: list[WideInstruction]
+    label: str = ""
+
+
+@dataclass
+class SequentialLoopRegion:
+    """Execute ``body`` regions ``passes`` times, back to back."""
+
+    body: list["Region"]
+    passes: Passes
+    label: str = ""
+
+
+@dataclass
+class PipelinedLoopRegion:
+    """A software-pipelined loop.
+
+    Iteration numbering (local to one entry of the region):
+      * prolog slots carry absolute iteration numbers ``0 .. k-1``;
+      * kernel pass ``p`` slot iteration = ``p * unroll + slot.iteration``;
+      * epilog slot iteration = ``n + slot.iteration`` (negative offsets),
+        with ``n = started_in_prolog + passes * unroll``.
+    """
+
+    prolog: list[WideInstruction]
+    kernel: list[WideInstruction]
+    epilog: list[WideInstruction]
+    passes: Passes
+    unroll: int
+    started_in_prolog: int
+    ii: int
+    label: str = ""
+
+    @property
+    def code_size(self) -> int:
+        return len(self.prolog) + len(self.kernel) + len(self.epilog)
+
+
+@dataclass
+class GuardedRegion:
+    """Runtime dispatch for loops whose trip count is unknown at compile
+    time (the paper's two-version scheme, section 2.4): if the evaluated
+    trip count is below ``threshold`` run ``fallback``, otherwise run
+    ``main``."""
+
+    trip: TripSpec
+    threshold: int
+    main: list["Region"]
+    fallback: list["Region"]
+    label: str = ""
+
+
+@dataclass
+class CondRegion:
+    """A conditional whose arms contain loops (so it cannot be
+    hierarchically reduced to a node): evaluate the condition register at
+    entry and execute one arm."""
+
+    cond: Operand
+    then_regions: list["Region"]
+    else_regions: list["Region"]
+    label: str = ""
+
+
+Region = Union[
+    BlockRegion, SequentialLoopRegion, PipelinedLoopRegion, GuardedRegion,
+    CondRegion,
+]
+
+
+def region_size(region: Region) -> int:
+    """Static code size (number of wide instructions) of a region tree."""
+    if isinstance(region, BlockRegion):
+        return len(region.instructions)
+    if isinstance(region, SequentialLoopRegion):
+        return sum(region_size(r) for r in region.body)
+    if isinstance(region, PipelinedLoopRegion):
+        return region.code_size
+    if isinstance(region, GuardedRegion):
+        return (
+            sum(region_size(r) for r in region.main)
+            + sum(region_size(r) for r in region.fallback)
+        )
+    if isinstance(region, CondRegion):
+        return 1 + (
+            sum(region_size(r) for r in region.then_regions)
+            + sum(region_size(r) for r in region.else_regions)
+        )
+    raise TypeError(f"unknown region {region!r}")
+
+
+@dataclass
+class CodeObject:
+    """A fully emitted program: region tree plus bookkeeping."""
+
+    program: Program
+    machine: MachineDescription
+    regions: list[Region]
+    register_count: int = 0
+
+    @property
+    def code_size(self) -> int:
+        return sum(region_size(region) for region in self.regions)
+
+
+# -- atoms: the emission view of a dependence node ----------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One concrete operation within a (possibly reduced) node."""
+
+    op: Operation
+    delta: int
+    preds: tuple[tuple[int, str], ...]
+    cbr_uid: Optional[int]
+    top_index: int
+
+
+def flatten_node(node: DepNode) -> list[Atom]:
+    """All concrete operations under a node, with offsets and predicates."""
+    return _flatten(node.payload, 0, (), node.index)
+
+
+def _flatten(
+    payload: object,
+    delta: int,
+    preds: tuple[tuple[int, str], ...],
+    top_index: int,
+) -> list[Atom]:
+    if isinstance(payload, Operation):
+        return [Atom(payload, delta, preds, None, top_index)]
+    if isinstance(payload, ReducedIf):
+        atoms = [
+            Atom(
+                Operation(Opcode.CBR, srcs=(payload.cond,)),
+                delta, preds, payload.uid, top_index,
+            )
+        ]
+        for arm_name, arm in (
+            ("then", payload.then_nodes), ("else", payload.else_nodes)
+        ):
+            arm_preds = preds + ((payload.uid, arm_name),)
+            for sub_node, offset in arm:
+                atoms.extend(
+                    _flatten(sub_node.payload, delta + offset, arm_preds, top_index)
+                )
+        return atoms
+    raise TypeError(f"cannot emit node payload {payload!r}")
+
+
+# -- renaming -----------------------------------------------------------------
+
+
+class Renamer:
+    """Rewrites an atom's virtual operands into physical registers for a
+    specific iteration, applying the modulo-variable-expansion copy rule."""
+
+    def __init__(
+        self,
+        alloc: RegisterAllocator,
+        plan: Optional[ExpansionPlan] = None,
+    ) -> None:
+        self.alloc = alloc
+        self.plan = plan
+
+    def _read(self, reg: Reg, top_index: int, iteration: int) -> Reg:
+        plan = self.plan
+        if plan is not None and reg in plan.copies:
+            return self.alloc.copy_reg(
+                reg, plan.copy_for_use(top_index, reg, iteration)
+            )
+        return self.alloc.scalar(reg)
+
+    def _write(self, reg: Reg, iteration: int) -> Reg:
+        plan = self.plan
+        if plan is not None and reg in plan.copies:
+            return self.alloc.copy_reg(reg, plan.copy_for_def(reg, iteration))
+        return self.alloc.scalar(reg)
+
+    def rename(self, atom: Atom, iteration: int) -> Operation:
+        op = atom.op
+        srcs = tuple(
+            self._read(src, atom.top_index, iteration)
+            if isinstance(src, Reg) else src
+            for src in op.srcs
+        )
+        dest = self._write(op.dest, iteration) if op.dest is not None else None
+        return op.with_operands(dest, srcs)
+
+
+# -- instruction assembly -----------------------------------------------------
+
+
+class InstructionBuffer:
+    def __init__(self, length: int) -> None:
+        self.instructions = [WideInstruction() for _ in range(max(0, length))]
+
+    def add(self, time: int, slot: SlotOp) -> None:
+        if time < 0:
+            raise ValueError(f"slot scheduled at negative time {time}")
+        while time >= len(self.instructions):
+            self.instructions.append(WideInstruction())
+        self.instructions[time].slots.append(slot)
+
+
+def _place(
+    buffer: InstructionBuffer,
+    atom: Atom,
+    time: int,
+    iteration: int,
+    renamer: Renamer,
+    rename_iteration: Optional[int] = None,
+) -> None:
+    """Place an atom.  ``iteration`` tags the slot for the simulator's
+    iteration arithmetic; ``rename_iteration`` (defaulting to the same) is
+    what the modulo-variable-expansion copy rule sees.  They differ only in
+    the epilog, where the absolute iteration ``n - j`` is congruent to
+    ``k - j`` modulo every copy count (all copy counts divide the unroll),
+    so renaming can stay independent of the runtime trip count."""
+    if rename_iteration is None:
+        rename_iteration = iteration
+    buffer.add(
+        time,
+        SlotOp(
+            renamer.rename(atom, rename_iteration),
+            iteration=iteration,
+            preds=atom.preds,
+            cbr_uid=atom.cbr_uid,
+        ),
+    )
+
+
+def emit_block(
+    schedule: BlockSchedule,
+    renamer: Renamer,
+    *,
+    loop_back: bool = False,
+    label: str = "",
+) -> list[WideInstruction]:
+    """Emit a block schedule, padded so every result commits before the
+    block ends (regions never overlap in time, which is also why the
+    loop-back branch may sit in the final instruction)."""
+    length = max(schedule.completion_length, 1)
+    buffer = InstructionBuffer(length)
+    for node in sorted(schedule.graph.nodes, key=lambda n: n.index):
+        time = schedule.times[node.index]
+        for atom in flatten_node(node):
+            _place(buffer, atom, time + atom.delta, 0, renamer)
+    if loop_back:
+        buffer.add(
+            length - 1,
+            SlotOp(Operation(Opcode.CJUMP, target=label or "loop")),
+        )
+    return buffer.instructions
+
+
+def emit_straightline(
+    ops: list[Operation],
+    machine: MachineDescription,
+    renamer: Renamer,
+) -> list[WideInstruction]:
+    """Naive one-op-per-cycle emission for compiler glue (register seeds,
+    live-out copies), padded for the final latency."""
+    if not ops:
+        return []
+    buffer = InstructionBuffer(0)
+    time = 0
+    last_commit = 1
+    for op in ops:
+        atom = Atom(op, 0, (), None, -1)
+        _place(buffer, atom, time, 0, renamer)
+        last_commit = max(last_commit, time + machine.latency(op.opcode.value))
+        time += 1
+    buffer.add(max(time, last_commit) - 1, SlotOp(Operation(Opcode.NOP)))
+    return buffer.instructions
+
+
+def fold_into_epilog(
+    region: PipelinedLoopRegion,
+    machine: MachineDescription,
+    tail_ops: list[tuple[Operation, int]],
+) -> None:
+    """Overlap scalar tail code with the epilog (Lam 1988, section 3.3:
+    "The prolog and epilog of a loop can be overlapped with scalar
+    operations outside the loop").
+
+    ``tail_ops`` are physical-register operations with the earliest
+    epilog-relative cycle at which their sources have committed.  Each is
+    placed in the first resource-free slot at or after that cycle (plus
+    the commit times of any earlier tail op it reads), the epilog growing
+    as needed to hold them and drain their results.
+    """
+    epilog = region.epilog
+    committed: dict[Reg, int] = {}
+
+    def usage_fits(instr: WideInstruction, opcode: str) -> bool:
+        needed: dict[str, int] = {}
+        for offset, resource, amount in machine.reservation(opcode):
+            if offset == 0:
+                needed[resource] = needed.get(resource, 0) + amount
+        for slot in instr.slots:
+            if slot.op.opcode is Opcode.NOP:
+                continue
+            for offset, resource, amount in machine.reservation(
+                slot.op.opcode.value
+            ):
+                if offset == 0:
+                    needed[resource] = needed.get(resource, 0) + amount
+        return all(
+            amount <= machine.units(resource)
+            for resource, amount in needed.items()
+        )
+
+    drain = 0
+    for op, earliest in tail_ops:
+        for src in op.src_regs:
+            if src in committed:
+                earliest = max(earliest, committed[src])
+        time = max(0, earliest)
+        while True:
+            while time >= len(epilog):
+                epilog.append(WideInstruction())
+            if usage_fits(epilog[time], op.opcode.value):
+                break
+            time += 1
+        epilog[time].slots.append(SlotOp(op))
+        latency = machine.latency(op.opcode.value)
+        if op.dest is not None:
+            committed[op.dest] = time + latency
+        drain = max(drain, time + latency)
+    while len(epilog) < drain:
+        epilog.append(WideInstruction())
+
+
+def emit_pipelined_loop(
+    schedule: KernelSchedule,
+    plan: ExpansionPlan,
+    renamer: Renamer,
+    passes: Passes,
+    *,
+    label: str = "",
+) -> PipelinedLoopRegion:
+    """Emit the prolog / unrolled kernel / epilog of a modulo schedule.
+
+    For ``n`` iterations in total the caller must arrange
+    ``n = k + passes * unroll`` with ``k = stage_count - 1`` (peeling excess
+    iterations into an unpipelined copy first, as the paper prescribes).
+
+    Placement rule: operation instance (node, iteration ``i``, internal
+    offset ``delta``) issues at flat time ``i*ii + sigma(node) + delta``.
+    The prolog covers flat times ``[0, k*ii)``, each kernel pass covers the
+    next ``unroll*ii``, and the epilog covers the final ``length - ii``.
+    """
+    graph, s = schedule.graph, schedule.ii
+    u = plan.unroll
+    k = schedule.stage_count - 1
+    length = schedule.length
+
+    prolog = InstructionBuffer(k * s)
+    kernel = InstructionBuffer(u * s)
+    # The epilog both finishes the iterations still in flight and pads until
+    # the final results commit, so following code may read them safely.
+    epilog = InstructionBuffer(max(0, schedule.completion_length - s))
+
+    for node in sorted(graph.nodes, key=lambda n: n.index):
+        sigma = schedule.times[node.index]
+        for atom in flatten_node(node):
+            e = sigma + atom.delta
+            # Prolog: iterations 0..k-1, flat times below k*s.
+            for i in range(k):
+                t = i * s + e
+                if t < k * s:
+                    _place(prolog, atom, t, i, renamer)
+            # Kernel: positions congruent to e modulo s.
+            for tau in range(e % s, u * s, s):
+                c = (tau - e) // s
+                _place(kernel, atom, tau, k + c, renamer)
+            # Epilog: the last k iterations' tails (iteration n - j).
+            for j in range(1, k + 1):
+                t = e - j * s
+                if t >= 0:
+                    _place(epilog, atom, t, -j, renamer,
+                           rename_iteration=k - j)
+
+    kernel.add(
+        u * s - 1, SlotOp(Operation(Opcode.CJUMP, target=label or "kernel"))
+    )
+    return PipelinedLoopRegion(
+        prolog=prolog.instructions,
+        kernel=kernel.instructions,
+        epilog=epilog.instructions,
+        passes=passes,
+        unroll=u,
+        started_in_prolog=k,
+        ii=s,
+        label=label,
+    )
+
+
+def emit_unpipelined_loop(
+    block: BlockSchedule,
+    renamer: Renamer,
+    passes: Passes,
+    *,
+    label: str = "",
+) -> SequentialLoopRegion:
+    """Emit a loop that runs its locally compacted body to completion every
+    iteration (hardware pipelines drain at iteration boundaries)."""
+    instructions = emit_block(renamer=renamer, schedule=block,
+                              loop_back=True, label=label)
+    return SequentialLoopRegion(
+        [BlockRegion(instructions, label=f"{label}.body")], passes, label=label
+    )
+
+
+def emit_program(
+    program: Program,
+    machine: MachineDescription,
+    regions: list[Region],
+    register_count: int,
+) -> CodeObject:
+    return CodeObject(program, machine, regions, register_count)

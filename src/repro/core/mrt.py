@@ -1,0 +1,75 @@
+"""The modulo resource reservation table (Lam 1988, section 2.1).
+
+If iterations are initiated every ``s`` cycles, operations scheduled at
+times ``t`` and ``t + k*s`` execute simultaneously, one from each of two
+different iterations, so resource usage at time ``t`` is accounted at row
+``t mod s``.  The steady state is resource-feasible iff no row of the
+modulo table exceeds the machine's per-cycle resource limits.
+"""
+
+from __future__ import annotations
+
+from repro.machine.description import MachineDescription
+from repro.machine.resources import ReservationTable
+
+
+class ModuloReservationTable:
+    """Tracks modulo resource usage for one initiation interval."""
+
+    def __init__(self, machine: MachineDescription, s: int) -> None:
+        if s < 1:
+            raise ValueError(f"initiation interval must be >= 1, got {s}")
+        self.machine = machine
+        self.s = s
+        self._rows: list[dict[str, int]] = [dict() for _ in range(s)]
+
+    def usage(self, row: int, resource: str) -> int:
+        return self._rows[row % self.s].get(resource, 0)
+
+    def fits(self, reservation: ReservationTable, time: int) -> bool:
+        """Would placing this pattern at issue time ``time`` stay within the
+        machine's limits in every affected row?"""
+        for offset, resource, amount in reservation:
+            row = (time + offset) % self.s
+            used = self._rows[row].get(resource, 0)
+            if used + amount > self.machine.units(resource):
+                return False
+        return True
+
+    def place(self, reservation: ReservationTable, time: int) -> None:
+        if not self.fits(reservation, time):
+            raise ValueError(f"resource conflict placing pattern at time {time}")
+        for offset, resource, amount in reservation:
+            row = (time + offset) % self.s
+            self._rows[row][resource] = self._rows[row].get(resource, 0) + amount
+
+    def remove(self, reservation: ReservationTable, time: int) -> None:
+        for offset, resource, amount in reservation:
+            row = (time + offset) % self.s
+            remaining = self._rows[row].get(resource, 0) - amount
+            if remaining < 0:
+                raise ValueError("removing a pattern that was never placed")
+            self._rows[row][resource] = remaining
+
+    def earliest_fit(self, reservation: ReservationTable, earliest: int,
+                     latest: int | None = None) -> int | None:
+        """First time in ``[earliest, latest]`` where the pattern fits.
+
+        By the definition of modulo resource usage, if a pattern does not
+        fit in ``s`` consecutive slots it fits nowhere, so the scan is
+        always capped at ``earliest + s - 1``.
+        """
+        cap = earliest + self.s - 1
+        if latest is not None:
+            cap = min(cap, latest)
+        for time in range(earliest, cap + 1):
+            if self.fits(reservation, time):
+                return time
+        return None
+
+    def __repr__(self) -> str:
+        rows = "; ".join(
+            f"{row}:" + ",".join(f"{r}x{a}" for r, a in sorted(cells.items()) if a)
+            for row, cells in enumerate(self._rows)
+        )
+        return f"MRT(s={self.s}, {rows})"

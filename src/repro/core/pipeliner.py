@@ -1,0 +1,243 @@
+"""The iterative software-pipelining driver (Lam 1988, section 2.2).
+
+Computes the lower bound on the initiation interval, then searches for the
+smallest schedulable interval.  The paper argues for a *linear* search:
+schedulability is not monotonic in the interval, and on Warp the lower bound
+itself is usually schedulable, so starting there and counting up finds the
+optimum cheaply.  A binary search (the FPS-164 approach) is provided for the
+ablation study.
+
+Per candidate interval: strongly connected components are scheduled
+individually, condensed into single vertices carrying their aggregate
+resource usage, and the resulting acyclic graph is scheduled by modulo list
+scheduling.  The sequencer is pre-reserved in the last modulo slot for the
+loop-back branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.acyclic import ItemEdge, SchedItem, modulo_schedule_dag
+from repro.core.cyclic import Cluster, schedule_component
+from repro.core.mii import MiiReport, compute_mii
+from repro.core.mrt import ModuloReservationTable
+from repro.core.schedule import KernelSchedule, SchedulingFailure
+from repro.deps.graph import DepGraph, DepNode
+from repro.deps.paths import (
+    SymbolicPaths,
+    minimum_initiation_interval_for_cycles,
+)
+from repro.deps.scc import condensation_order
+from repro.machine.description import MachineDescription
+from repro.machine.resources import ReservationTable
+
+
+@dataclass(frozen=True)
+class PipelinerPolicy:
+    """Search and applicability policy.
+
+    search
+        ``"linear"`` (the paper's choice) or ``"binary"`` (FPS-164 style,
+        for the ablation).
+    max_ii
+        Hard cap on the initiation interval search; ``None`` derives a cap
+        from the graph (sum of node spans plus slack).
+    reserve_branch
+        Pre-reserve the sequencer in the last modulo slot for the loop-back
+        branch.
+    """
+
+    search: str = "linear"
+    max_ii: Optional[int] = None
+    reserve_branch: bool = True
+    branch_resource: str = "seq"
+
+    def __post_init__(self) -> None:
+        if self.search not in ("linear", "binary"):
+            raise ValueError(f"unknown search policy {self.search!r}")
+
+
+@dataclass
+class PipelineResult:
+    """A kernel schedule plus the component structure needed downstream."""
+
+    schedule: KernelSchedule
+    clusters: list[Cluster]
+
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+
+class ModuloScheduler:
+    """Software-pipelines dependence graphs for one machine."""
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        policy: PipelinerPolicy = PipelinerPolicy(),
+    ) -> None:
+        self.machine = machine
+        self.policy = policy
+
+    # -- public API ----------------------------------------------------------
+
+    def schedule(self, graph: DepGraph) -> PipelineResult:
+        """Find the smallest schedulable initiation interval.
+
+        Raises :class:`SchedulingFailure` if none is found below the cap.
+        """
+        extra = {self.policy.branch_resource: 1} if self.policy.reserve_branch else None
+        mii = compute_mii(graph, self.machine, extra)
+        components = condensation_order(graph)
+        prepared = self._prepare_components(graph, components)
+        max_ii = self.policy.max_ii or self._default_cap(graph)
+
+        attempts: list[int] = []
+        if self.policy.search == "linear":
+            for s in range(mii.mii, max_ii + 1):
+                attempts.append(s)
+                result = self._try_interval(graph, prepared, s, mii, attempts)
+                if result is not None:
+                    return result
+        else:
+            result = self._binary_search(graph, prepared, mii, max_ii, attempts)
+            if result is not None:
+                return result
+        raise SchedulingFailure(
+            f"no schedule found for initiation intervals {mii.mii}..{max_ii}",
+            attempts,
+        )
+
+    def schedule_at(self, graph: DepGraph, s: int) -> Optional[PipelineResult]:
+        """Attempt exactly one initiation interval (useful for testing)."""
+        extra = {self.policy.branch_resource: 1} if self.policy.reserve_branch else None
+        mii = compute_mii(graph, self.machine, extra)
+        if s < mii.recurrence:
+            return None
+        prepared = self._prepare_components(graph, condensation_order(graph))
+        return self._try_interval(graph, prepared, s, mii, [s])
+
+    # -- preprocessing -------------------------------------------------------
+
+    def _prepare_components(
+        self,
+        graph: DepGraph,
+        components: list[list[DepNode]],
+    ) -> list[tuple[list[DepNode], Optional[SymbolicPaths]]]:
+        """Per component: the symbolic longest-path closure, computed once
+        with a symbolic initiation interval (the paper's preprocessing
+        step), or ``None`` for trivial components."""
+        edges = graph.edges
+        prepared = []
+        for component in components:
+            members = {node.index for node in component}
+            internal = [
+                e for e in edges
+                if e.src.index in members and e.dst.index in members
+            ]
+            if len(component) == 1 and not internal:
+                prepared.append((component, None))
+                continue
+            s_min = max(
+                1, minimum_initiation_interval_for_cycles(component, internal)
+            )
+            prepared.append((component, SymbolicPaths(component, internal, s_min)))
+        return prepared
+
+    def _default_cap(self, graph: DepGraph) -> int:
+        span = sum(node.length for node in graph.nodes)
+        worst_delay = sum(max(0, e.delay) for e in graph.edges)
+        return max(4, span + worst_delay) + 8
+
+    # -- one attempt ---------------------------------------------------------
+
+    def _try_interval(
+        self,
+        graph: DepGraph,
+        prepared: list[tuple[list[DepNode], Optional[SymbolicPaths]]],
+        s: int,
+        mii: MiiReport,
+        attempts: list[int],
+    ) -> Optional[PipelineResult]:
+        clusters: list[Cluster] = []
+        cluster_of: dict[int, int] = {}  # node.index -> item index
+        items: list[SchedItem] = []
+
+        for component, paths in prepared:
+            item_index = len(items)
+            if paths is None:
+                node = component[0]
+                items.append(
+                    SchedItem(item_index, node.reservation, node.length)
+                )
+                clusters.append(
+                    Cluster([node], {node.index: 0}, node.reservation)
+                )
+            else:
+                cluster = schedule_component(component, paths, s, self.machine)
+                if cluster is None:
+                    return None
+                items.append(
+                    SchedItem(item_index, cluster.reservation, cluster.span)
+                )
+                clusters.append(cluster)
+            for node in component:
+                cluster_of[node.index] = item_index
+
+        item_edges = []
+        for edge in graph.edges:
+            src_item = cluster_of[edge.src.index]
+            dst_item = cluster_of[edge.dst.index]
+            if src_item == dst_item:
+                continue
+            delta = (
+                clusters[src_item].offset_of(edge.src)
+                - clusters[dst_item].offset_of(edge.dst)
+            )
+            item_edges.append(
+                ItemEdge(src_item, dst_item, edge.delay + delta, edge.omega)
+            )
+
+        mrt = ModuloReservationTable(self.machine, s)
+        if self.policy.reserve_branch:
+            branch = ReservationTable.single(self.policy.branch_resource)
+            mrt.place(branch, s - 1)
+        item_times = modulo_schedule_dag(items, item_edges, mrt)
+        if item_times is None:
+            return None
+
+        times: dict[int, int] = {}
+        for item_index, cluster in enumerate(clusters):
+            base = item_times[item_index]
+            for node in cluster.members:
+                times[node.index] = base + cluster.offset_of(node)
+        schedule = KernelSchedule(
+            graph, self.machine, s, times, mii, list(attempts)
+        )
+        return PipelineResult(schedule, clusters)
+
+    # -- binary search (FPS-164 style, for the ablation) ----------------------
+
+    def _binary_search(
+        self,
+        graph: DepGraph,
+        prepared: list,
+        mii: MiiReport,
+        max_ii: int,
+        attempts: list[int],
+    ) -> Optional[PipelineResult]:
+        lo, hi = mii.mii, max_ii
+        best: Optional[PipelineResult] = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            attempts.append(mid)
+            result = self._try_interval(graph, prepared, mid, mii, attempts)
+            if result is not None:
+                best = result
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return best

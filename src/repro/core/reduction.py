@@ -1,0 +1,275 @@
+"""Hierarchical reduction (Lam 1988, section 3).
+
+Control constructs are scheduled innermost-first and each is *reduced* to a
+single node representing all its scheduling constraints, so that scheduling
+techniques defined for straight-line code — list scheduling and software
+pipelining — apply across basic blocks.
+
+Conditionals: the THEN and ELSE arms are list-scheduled independently; the
+reduced node's length is the longer arm, its reservation table the
+entrywise maximum of the two arms' tables (plus the sequencer dispatch that
+steers between them), and its def/use/memory summaries carry the internal
+time offsets, so the generic edge-construction rules of
+:mod:`repro.deps.build` produce exactly the adjusted constraints the paper
+describes.
+
+By default a conditional keeps the sequencer busy for its whole extent,
+which makes the node effectively indivisible with respect to other
+conditionals and to its own instances from neighbouring iterations — this
+is the paper's arrangement ("software pipelining is then applied to the
+node representing the conditional statement, treating its operations as
+indivisible"), and is what makes predicate-free code emission possible at
+the price of a larger initiation interval for conditional loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.listsched import list_schedule_block
+from repro.core.schedule import BlockSchedule
+from repro.deps.build import (
+    DependenceOptions,
+    connect_block_edges,
+    connect_loop_edges,
+    make_increment_node,
+    node_from_operation,
+)
+from repro.deps.graph import DefInfo, DepGraph, DepNode, MemAccess, UseInfo
+from repro.ir.operands import Imm, Operand, Reg
+from repro.ir.ops import Opcode, Operation
+from repro.ir.stmts import ForLoop, IfStmt, Stmt
+from repro.machine.description import MachineDescription
+from repro.machine.resources import ReservationTable
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass
+class ReducedIf:
+    """Payload of a node standing for a whole IF statement.
+
+    ``then_nodes`` / ``else_nodes`` hold each arm's sub-nodes with their
+    issue offsets relative to the reduced node's start (the dispatch of the
+    condition happens at offset 0).
+    """
+
+    stmt: IfStmt
+    uid: int
+    cond: Operand
+    then_nodes: list[tuple[DepNode, int]]
+    else_nodes: list[tuple[DepNode, int]]
+    length: int
+
+
+@dataclass
+class LoopGraph:
+    """A dependence graph for one innermost loop, after reduction."""
+
+    loop: ForLoop
+    graph: DepGraph
+    increment: DepNode
+    options: DependenceOptions
+    machine: MachineDescription
+
+    @property
+    def has_conditionals(self) -> bool:
+        return any(
+            isinstance(node.payload, ReducedIf) for node in self.graph.nodes
+        )
+
+
+def _arm_schedule(
+    stmts: list[Stmt],
+    machine: MachineDescription,
+    serialize: bool,
+) -> tuple[list[tuple[DepNode, int]], int]:
+    """Reduce and list-schedule one arm; returns (sub-nodes with offsets,
+    arm issue length)."""
+    graph = DepGraph()
+    for index, stmt in enumerate(stmts):
+        graph.add_node(_reduce_stmt(stmt, machine, index, serialize))
+    connect_block_edges(graph)
+    schedule = list_schedule_block(graph, machine)
+    placed = [
+        (node, schedule.times[node.index])
+        for node in sorted(graph.nodes, key=lambda n: n.index)
+    ]
+    return placed, schedule.length
+
+
+def _reduce_stmt(
+    stmt: Stmt,
+    machine: MachineDescription,
+    index: int,
+    serialize: bool,
+) -> DepNode:
+    if isinstance(stmt, Operation):
+        return node_from_operation(stmt, machine, index)
+    if isinstance(stmt, IfStmt):
+        return reduce_if(stmt, machine, index, serialize=serialize)
+    raise TypeError(
+        f"cannot reduce {stmt!r}: nested loops must be compiled innermost"
+        " first (only innermost loops are software pipelined)"
+    )
+
+
+def reduce_if(
+    stmt: IfStmt,
+    machine: MachineDescription,
+    index: int,
+    *,
+    serialize: bool = True,
+) -> DepNode:
+    """Reduce a conditional to a single schedulable node."""
+    then_nodes, then_len = _arm_schedule(stmt.then_body, machine, serialize)
+    else_nodes, else_len = _arm_schedule(stmt.else_body, machine, serialize)
+    # The dispatch reads the condition and steers the sequencer at offset 0;
+    # both arms start after it.
+    then_nodes = [(node, offset + 1) for node, offset in then_nodes]
+    else_nodes = [(node, offset + 1) for node, offset in else_nodes]
+    length = 1 + max(then_len, else_len, 0)
+
+    reservation = ReservationTable()
+    for arm in (then_nodes, else_nodes):
+        arm_table = ReservationTable()
+        for node, offset in arm:
+            arm_table = arm_table.merged(node.reservation.shifted(offset))
+        reservation = reservation.union_max(arm_table)
+    dispatch = machine.reservation(Opcode.CBR.value)
+    reservation = reservation.merged(dispatch)
+    if serialize:
+        seq_units = {"seq": machine.units("seq")}
+        reservation = reservation.saturated(seq_units, length)
+
+    defs = _merged_defs(then_nodes, else_nodes)
+    uses = _external_uses(stmt.cond, then_nodes, else_nodes)
+    mem = tuple(
+        MemAccess(a.kind, a.array, a.base_reg, a.offset, a.time_offset + offset)
+        for arm in (then_nodes, else_nodes)
+        for node, offset in arm
+        for a in node.mem
+    )
+    payload = ReducedIf(
+        stmt=stmt,
+        uid=next(_uid_counter),
+        cond=stmt.cond,
+        then_nodes=then_nodes,
+        else_nodes=else_nodes,
+        length=length,
+    )
+    return DepNode(
+        index=index,
+        reservation=reservation,
+        payload=payload,
+        defs=defs,
+        uses=uses,
+        mem=mem,
+        label=f"if({stmt.cond})",
+    )
+
+
+def _merged_defs(
+    then_nodes: list[tuple[DepNode, int]],
+    else_nodes: list[tuple[DepNode, int]],
+) -> tuple[DefInfo, ...]:
+    """Registers defined in either arm, with both write-time bounds."""
+    latest: dict[Reg, int] = {}
+    earliest: dict[Reg, int] = {}
+    for arm in (then_nodes, else_nodes):
+        for node, offset in arm:
+            for info in node.defs:
+                reg = info.reg
+                latest[reg] = max(
+                    latest.get(reg, 0), offset + info.write_latency
+                )
+                early = offset + info.earliest_write
+                earliest[reg] = min(earliest.get(reg, early), early)
+    return tuple(
+        DefInfo(reg, latest[reg], earliest[reg])
+        for reg in sorted(latest, key=lambda r: r.name)
+    )
+
+
+def _external_uses(
+    cond: Operand,
+    then_nodes: list[tuple[DepNode, int]],
+    else_nodes: list[tuple[DepNode, int]],
+) -> tuple[UseInfo, ...]:
+    """Reads that reach outside the construct: the condition, plus every
+    arm-internal use whose reaching definition is not earlier in the same
+    arm."""
+    uses: list[UseInfo] = []
+    if isinstance(cond, Reg):
+        uses.append(UseInfo(cond, 0))
+    for arm in (then_nodes, else_nodes):
+        defined: set[Reg] = set()
+        for node, offset in arm:
+            for use in node.uses:
+                if use.reg not in defined:
+                    uses.append(UseInfo(use.reg, offset + use.read_offset))
+            defined.update(info.reg for info in node.defs)
+    # Deduplicate, keeping the latest read offset per register (the most
+    # constraining one for anti-dependences is the latest read; flow
+    # dependences want the earliest, so keep both extremes).
+    by_reg: dict[Reg, list[int]] = {}
+    for use in uses:
+        by_reg.setdefault(use.reg, []).append(use.read_offset)
+    merged = []
+    for reg, offsets in by_reg.items():
+        merged.append(UseInfo(reg, min(offsets)))
+        if max(offsets) != min(offsets):
+            merged.append(UseInfo(reg, max(offsets)))
+    return tuple(sorted(merged, key=lambda u: (u.reg.name, u.read_offset)))
+
+
+def reduce_loop_body(
+    loop: ForLoop,
+    machine: MachineDescription,
+    options: DependenceOptions = DependenceOptions(),
+    *,
+    serialize_ifs: bool = True,
+) -> LoopGraph:
+    """Reduce an innermost loop body to a flat dependence graph.
+
+    Conditionals become single nodes; the induction-variable increment is
+    materialised.  ``options.expanded_regs`` should already name the
+    registers modulo variable expansion will cover (see
+    :func:`repro.core.mve.expandable_registers`; qualification does not
+    depend on edges, so callers qualify on the nodes first and connect
+    second — helper :func:`build_reduced_loop_graph` does both).
+    """
+    graph = DepGraph()
+    for index, stmt in enumerate(loop.body):
+        graph.add_node(_reduce_stmt(stmt, machine, index, serialize_ifs))
+    increment = make_increment_node(loop, machine, len(loop.body))
+    graph.add_node(increment)
+    connect_loop_edges(graph, loop, options)
+    return LoopGraph(loop, graph, increment, options, machine)
+
+
+def build_reduced_loop_graph(
+    loop: ForLoop,
+    machine: MachineDescription,
+    options: DependenceOptions = DependenceOptions(),
+    *,
+    serialize_ifs: bool = True,
+    expand: bool = True,
+) -> LoopGraph:
+    """Reduce, qualify registers for expansion, then connect edges."""
+    from repro.core.mve import expandable_registers
+
+    graph = DepGraph()
+    for index, stmt in enumerate(loop.body):
+        graph.add_node(_reduce_stmt(stmt, machine, index, serialize_ifs))
+    increment = make_increment_node(loop, machine, len(loop.body))
+    graph.add_node(increment)
+    expanded = expandable_registers(graph) if expand else frozenset()
+    options = DependenceOptions(
+        independent_arrays=options.independent_arrays,
+        expanded_regs=expanded,
+    )
+    connect_loop_edges(graph, loop, options)
+    return LoopGraph(loop, graph, increment, options, machine)

@@ -1,0 +1,113 @@
+"""Schedule value types shared across the core algorithms."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.mii import MiiReport
+from repro.deps.graph import DepGraph, DepNode
+from repro.machine.description import MachineDescription
+
+
+class SchedulingFailure(Exception):
+    """No schedule was found within the allowed initiation intervals."""
+
+    def __init__(self, message: str, attempts: Optional[list[int]] = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts or []
+
+
+@dataclass
+class BlockSchedule:
+    """A schedule of one basic block (or one branch arm): issue times with
+    no modulo wraparound."""
+
+    graph: DepGraph
+    machine: MachineDescription
+    times: dict[int, int]  # node.index -> issue time
+
+    @property
+    def length(self) -> int:
+        """Cycles until the last node's reservation pattern is done issuing."""
+        if not self.times:
+            return 0
+        return max(
+            self.times[node.index] + node.length for node in self.graph.nodes
+        )
+
+    @property
+    def completion_length(self) -> int:
+        """Cycles until every result has been written back."""
+        length = 0
+        for node in self.graph.nodes:
+            time = self.times[node.index]
+            latencies = [info.write_latency for info in node.defs]
+            latencies.append(node.length)
+            length = max(length, time + max(latencies))
+        return length
+
+    def time_of(self, node: DepNode) -> int:
+        return self.times[node.index]
+
+
+@dataclass
+class KernelSchedule:
+    """A modulo schedule of one loop iteration.
+
+    ``times[node.index]`` is sigma(node); iteration ``i`` executes the node
+    at flat time ``i * ii + sigma(node)``.
+    """
+
+    graph: DepGraph
+    machine: MachineDescription
+    ii: int
+    times: dict[int, int]
+    mii: MiiReport
+    attempts: list[int] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Issue span of one iteration (the paper's *l*)."""
+        if not self.times:
+            return self.ii
+        return max(
+            self.times[node.index] + node.length for node in self.graph.nodes
+        )
+
+    @property
+    def completion_length(self) -> int:
+        """Cycles until one iteration's last result has committed (used to
+        pad the epilog: leaving the loop must drain the pipelines)."""
+        length = self.ii
+        for node in self.graph.nodes:
+            time = self.times[node.index]
+            latencies = [info.write_latency for info in node.defs]
+            latencies.append(node.length)
+            length = max(length, time + max(latencies))
+        return length
+
+    @property
+    def stage_count(self) -> int:
+        """Number of iterations simultaneously in flight in the steady
+        state (the paper's prolog starts ``stage_count - 1`` iterations)."""
+        return max(1, math.ceil(self.length / self.ii))
+
+    @property
+    def achieved_lower_bound(self) -> bool:
+        return self.ii == self.mii.mii
+
+    @property
+    def efficiency(self) -> float:
+        """Lower bound on scheduling efficiency: MII / achieved II."""
+        return self.mii.mii / self.ii
+
+    def time_of(self, node: DepNode) -> int:
+        return self.times[node.index]
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelSchedule(ii={self.ii}, mii={self.mii.mii},"
+            f" length={self.length}, stages={self.stage_count})"
+        )

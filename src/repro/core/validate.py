@@ -1,0 +1,70 @@
+"""Independent validation of schedules against the scheduling constraints.
+
+Used by the test suite (including the property-based tests) and available
+to library users as a safety net: a schedule that passes
+:func:`check_kernel_schedule` satisfies every precedence constraint and
+never oversubscribes a resource in the steady state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.schedule import BlockSchedule, KernelSchedule
+
+
+class ScheduleViolation(AssertionError):
+    """A schedule breaks a precedence or resource constraint."""
+
+
+def check_kernel_schedule(
+    schedule: KernelSchedule, *, reserved_branch: str | None = "seq"
+) -> None:
+    """Raise :class:`ScheduleViolation` on any broken constraint."""
+    graph, s = schedule.graph, schedule.ii
+    for edge in graph.edges:
+        lhs = schedule.times[edge.dst.index] - schedule.times[edge.src.index]
+        rhs = edge.delay - s * edge.omega
+        if lhs < rhs:
+            raise ScheduleViolation(
+                f"precedence violated: {edge!r} needs >= {rhs}, got {lhs}"
+            )
+    usage: dict[tuple[int, str], int] = defaultdict(int)
+    if reserved_branch is not None:
+        usage[(s - 1, reserved_branch)] += 1
+    for node in graph.nodes:
+        time = schedule.times[node.index]
+        for offset, resource, amount in node.reservation:
+            usage[((time + offset) % s, resource)] += amount
+    for (row, resource), amount in usage.items():
+        limit = schedule.machine.units(resource)
+        if amount > limit:
+            raise ScheduleViolation(
+                f"modulo row {row} oversubscribes {resource!r}:"
+                f" {amount} > {limit}"
+            )
+
+
+def check_block_schedule(schedule: BlockSchedule) -> None:
+    """Raise :class:`ScheduleViolation` on any broken same-iteration
+    constraint or absolute resource overflow."""
+    graph = schedule.graph
+    for edge in graph.edges:
+        if edge.omega != 0:
+            continue
+        lhs = schedule.times[edge.dst.index] - schedule.times[edge.src.index]
+        if lhs < edge.delay:
+            raise ScheduleViolation(
+                f"precedence violated: {edge!r} needs >= {edge.delay}, got {lhs}"
+            )
+    usage: dict[tuple[int, str], int] = defaultdict(int)
+    for node in graph.nodes:
+        time = schedule.times[node.index]
+        for offset, resource, amount in node.reservation:
+            usage[(time + offset, resource)] += amount
+    for (cycle, resource), amount in usage.items():
+        limit = schedule.machine.units(resource)
+        if amount > limit:
+            raise ScheduleViolation(
+                f"cycle {cycle} oversubscribes {resource!r}: {amount} > {limit}"
+            )

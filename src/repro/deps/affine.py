@@ -1,0 +1,167 @@
+"""Affine subscript analysis.
+
+Array subscripts in real loop bodies are rarely a bare ``iv + const``: a
+flattened 2-D access looks like ``a[row + k + 1]`` where ``row`` is
+loop-invariant, and a strided access like ``a[2*k + j]``.  This module
+propagates affine forms
+
+    value = iv_coef * iv  +  sum(coef_r * r  for invariant r)  +  const
+
+through the single-definition integer operations of a loop body, so the
+dependence builder can compute exact iteration distances for any pair of
+accesses whose forms differ only in the constant.
+
+Propagation is deliberately conservative: it only follows a use whose
+reaching definition is earlier in the same iteration (or the induction
+variable itself, whose in-body value is ``start + j*step`` because the
+increment is materialised at the very end of the body).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.deps.graph import DepNode, MemAccess
+from repro.ir.operands import Imm, Reg
+from repro.ir.ops import Opcode, Operation
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``iv_coef * iv + sum(coef * reg) + const`` with invariant regs."""
+
+    iv_coef: int
+    syms: tuple[tuple[Reg, int], ...]  # sorted, nonzero coefficients
+    const: int
+
+    @classmethod
+    def constant(cls, value: int) -> "Affine":
+        return cls(0, (), value)
+
+    @classmethod
+    def of_reg(cls, reg: Reg) -> "Affine":
+        return cls(0, ((reg, 1),), 0)
+
+    @classmethod
+    def of_iv(cls) -> "Affine":
+        return cls(1, (), 0)
+
+    def _sym_dict(self) -> dict[Reg, int]:
+        return dict(self.syms)
+
+    @staticmethod
+    def _normalize(iv_coef: int, syms: dict[Reg, int], const: int) -> "Affine":
+        cleaned = tuple(
+            sorted(
+                ((reg, coef) for reg, coef in syms.items() if coef != 0),
+                key=lambda item: item[0].name,
+            )
+        )
+        return Affine(iv_coef, cleaned, const)
+
+    def __add__(self, other: "Affine") -> "Affine":
+        syms = self._sym_dict()
+        for reg, coef in other.syms:
+            syms[reg] = syms.get(reg, 0) + coef
+        return self._normalize(
+            self.iv_coef + other.iv_coef, syms, self.const + other.const
+        )
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self + other.scaled(-1)
+
+    def scaled(self, factor: int) -> "Affine":
+        return self._normalize(
+            self.iv_coef * factor,
+            {reg: coef * factor for reg, coef in self.syms},
+            self.const * factor,
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return self.iv_coef == 0 and not self.syms
+
+    def shape(self) -> tuple[int, tuple[tuple[Reg, int], ...]]:
+        """Everything but the constant term: two accesses with equal shapes
+        differ by a compile-time constant in every iteration."""
+        return (self.iv_coef, self.syms)
+
+
+def compute_affine_map(
+    nodes: Sequence[DepNode],
+    iv: Optional[Reg],
+    invariant: set[Reg],
+) -> dict[Reg, Affine]:
+    """Affine forms for single-definition integer registers of a body."""
+    def_count: dict[Reg, int] = {}
+    for node in nodes:
+        for info in node.defs:
+            def_count[info.reg] = def_count.get(info.reg, 0) + 1
+
+    known: dict[Reg, Affine] = {}
+
+    def operand_affine(operand, node_index: int) -> Optional[Affine]:
+        if isinstance(operand, Imm):
+            if isinstance(operand.value, int):
+                return Affine.constant(operand.value)
+            return None
+        reg = operand
+        if iv is not None and reg == iv:
+            return Affine.of_iv()
+        if reg in invariant:
+            return Affine.of_reg(reg)
+        return known.get(reg)
+
+    for node in sorted(nodes, key=lambda n: n.index):
+        payload = node.payload
+        if not isinstance(payload, Operation):
+            continue
+        op = payload
+        dest = op.dest
+        if dest is None or def_count.get(dest, 0) != 1 or dest.kind != "int":
+            continue
+        if iv is not None and dest == iv:
+            continue  # the increment; in-body iv reads stay "start + j*step"
+        args = [operand_affine(src, node.index) for src in op.srcs]
+        if any(arg is None for arg in args):
+            continue
+        result: Optional[Affine] = None
+        if op.opcode is Opcode.ADD:
+            result = args[0] + args[1]
+        elif op.opcode is Opcode.SUB:
+            result = args[0] - args[1]
+        elif op.opcode is Opcode.MOV:
+            result = args[0]
+        elif op.opcode is Opcode.NEG:
+            result = args[0].scaled(-1)
+        elif op.opcode is Opcode.MUL:
+            if args[0].is_constant:
+                result = args[1].scaled(args[0].const)
+            elif args[1].is_constant:
+                result = args[0].scaled(args[1].const)
+        elif op.opcode is Opcode.SHL and args[1].is_constant:
+            result = args[0].scaled(1 << args[1].const)
+        if result is not None:
+            known[dest] = result
+    return known
+
+
+def access_affine(
+    access: MemAccess,
+    affine_map: dict[Reg, Affine],
+    iv: Optional[Reg],
+    invariant: set[Reg],
+) -> Optional[Affine]:
+    """Affine form of one access's subscript, or None if unknown."""
+    if access.base_reg is None:
+        base = Affine.constant(0)
+    elif iv is not None and access.base_reg == iv:
+        base = Affine.of_iv()
+    elif access.base_reg in invariant:
+        base = Affine.of_reg(access.base_reg)
+    else:
+        base = affine_map.get(access.base_reg)
+        if base is None:
+            return None
+    return base + Affine.constant(access.offset)

@@ -1,0 +1,184 @@
+"""Longest-path machinery for precedence closures and the recurrence bound.
+
+The paper computes, once per strongly connected component, the closure of
+the precedence constraints via an all-points longest-path with a *symbolic*
+initiation interval (section 2.2.2).  A path accumulates a total delay ``d``
+and a total iteration difference ``p``; at initiation interval ``s`` its
+effective length is ``d - s * p``.  With a symbolic ``s`` a path's cost is
+the pair ``(d, p)``, and only the Pareto frontier of pairs can ever achieve
+the maximum, so :class:`SymbolicPaths` stores frontier sets and evaluates
+them for each concrete ``s`` the iterative scheduler tries.
+
+Frontier pruning needs a lower bound ``s_min`` on every ``s`` that will be
+queried: pair ``(d1, p1)`` dominates ``(d2, p2)`` iff ``d1 - s*p1 >=
+d2 - s*p2`` for all ``s >= s_min``, i.e. ``p1 <= p2`` and ``d2 - d1 <=
+s_min * (p2 - p1)``.  Using the component's recurrence-constrained lower
+bound as ``s_min`` also guarantees convergence: augmenting a path by a
+dependence cycle ``c`` adds ``(d(c), p(c))`` with ``d(c) <= s_min * p(c)``,
+which is always dominated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.deps.graph import DepEdge, DepNode
+
+NEG_INF = float("-inf")
+
+
+class CyclicDependenceError(Exception):
+    """A zero-iteration-difference dependence cycle has positive delay:
+    no initiation interval can satisfy it."""
+
+
+def _local_edges(
+    nodes: Sequence[DepNode], edges: Sequence[DepEdge]
+) -> list[tuple[int, int, int, int]]:
+    """Edges among ``nodes``, as (src_local, dst_local, delay, omega)."""
+    local = {node.index: i for i, node in enumerate(nodes)}
+    out = []
+    for edge in edges:
+        src = local.get(edge.src.index)
+        dst = local.get(edge.dst.index)
+        if src is not None and dst is not None:
+            out.append((src, dst, edge.delay, edge.omega))
+    return out
+
+
+def longest_paths(
+    nodes: Sequence[DepNode],
+    edges: Sequence[DepEdge],
+    s: int,
+) -> Optional[list[list[float]]]:
+    """All-points longest paths with edge weight ``delay - s * omega``.
+
+    Returns the matrix (``NEG_INF`` where unreachable), or ``None`` if the
+    graph has a positive cycle at this ``s`` (the initiation interval is
+    infeasible for these recurrences).  The diagonal holds the longest
+    nonempty cycle length through each node (or ``NEG_INF``).
+    """
+    n = len(nodes)
+    dist = [[NEG_INF] * n for _ in range(n)]
+    for src, dst, delay, omega in _local_edges(nodes, edges):
+        weight = delay - s * omega
+        if weight > dist[src][dst]:
+            dist[src][dst] = weight
+    for k in range(n):
+        dist_k = dist[k]
+        for i in range(n):
+            d_ik = dist[i][k]
+            if d_ik == NEG_INF:
+                continue
+            row = dist[i]
+            for j in range(n):
+                via = d_ik + dist_k[j]
+                if via > row[j]:
+                    row[j] = via
+    for i in range(n):
+        if dist[i][i] > 0:
+            return None
+    return dist
+
+
+def minimum_initiation_interval_for_cycles(
+    nodes: Sequence[DepNode],
+    edges: Sequence[DepEdge],
+    upper_bound: int = 1 << 20,
+) -> int:
+    """Smallest integer ``s >= 0`` with no positive cycle, i.e. the
+    recurrence-constrained bound max over cycles of ceil(d(c) / p(c)).
+
+    Raises :class:`CyclicDependenceError` if a cycle with total iteration
+    difference 0 has positive delay (infeasible at every ``s``).
+    """
+    if longest_paths(nodes, edges, upper_bound) is None:
+        raise CyclicDependenceError(
+            "dependence cycle with zero iteration difference and positive delay"
+        )
+    # Feasibility is monotone in s here (cycle weights d(c) - s*p(c) only
+    # decrease as s grows), so binary search is exact.
+    lo, hi = 0, upper_bound
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if longest_paths(nodes, edges, mid) is None:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+# -- symbolic closure --------------------------------------------------------
+
+#: A Pareto frontier of (delay, omega) path costs, kept sorted by omega.
+Frontier = tuple[tuple[int, int], ...]
+
+
+def _dominates(d1: int, p1: int, d2: int, p2: int, s_min: int) -> bool:
+    return p1 <= p2 and d2 - d1 <= s_min * (p2 - p1)
+
+
+def _insert(frontier: list[tuple[int, int]], d: int, p: int, s_min: int) -> bool:
+    """Insert (d, p) into the frontier, pruning dominated pairs.
+
+    Returns True if the pair was actually added (i.e. it was not dominated).
+    """
+    for d1, p1 in frontier:
+        if _dominates(d1, p1, d, p, s_min):
+            return False
+    frontier[:] = [
+        (d1, p1) for d1, p1 in frontier if not _dominates(d, p, d1, p1, s_min)
+    ]
+    frontier.append((d, p))
+    return True
+
+
+class SymbolicPaths:
+    """All-points longest paths over one SCC with symbolic initiation
+    interval, computed once and evaluated cheaply per candidate ``s``.
+
+    ``s_min`` must lower-bound every ``s`` passed to :meth:`evaluate`.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[DepNode],
+        edges: Sequence[DepEdge],
+        s_min: int,
+    ) -> None:
+        self.nodes = list(nodes)
+        self.s_min = max(1, s_min)
+        n = len(self.nodes)
+        self.local = {node.index: i for i, node in enumerate(self.nodes)}
+        table: list[list[list[tuple[int, int]]]] = [
+            [[] for _ in range(n)] for _ in range(n)
+        ]
+        for src, dst, delay, omega in _local_edges(self.nodes, edges):
+            _insert(table[src][dst], delay, omega, self.s_min)
+        # Floyd-Warshall over Pareto frontiers.  With s_min at least the
+        # component's recurrence bound, cycle-augmented costs are dominated,
+        # so a single k-sweep reaches the closure just as in the scalar case.
+        for k in range(n):
+            for i in range(n):
+                if not table[i][k]:
+                    continue
+                for j in range(n):
+                    if not table[k][j]:
+                        continue
+                    cell = table[i][j]
+                    for d1, p1 in table[i][k]:
+                        for d2, p2 in table[k][j]:
+                            _insert(cell, d1 + d2, p1 + p2, self.s_min)
+        self._table = table
+
+    def frontier(self, src: DepNode, dst: DepNode) -> Frontier:
+        return tuple(self._table[self.local[src.index]][self.local[dst.index]])
+
+    def evaluate(self, src: DepNode, dst: DepNode, s: int) -> float:
+        """Longest path length src -> dst at initiation interval ``s``."""
+        if s < self.s_min:
+            raise ValueError(f"s={s} below the symbolic validity bound {self.s_min}")
+        cell = self._table[self.local[src.index]][self.local[dst.index]]
+        if not cell:
+            return NEG_INF
+        return max(d - s * p for d, p in cell)

@@ -1,0 +1,72 @@
+"""Strongly connected components (Tarjan 1972), as the paper prescribes.
+
+Implemented iteratively so pathologically deep graphs do not hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from repro.deps.graph import DepGraph, DepNode
+
+
+def strongly_connected_components(graph: DepGraph) -> list[list[DepNode]]:
+    """Return SCCs in reverse topological order of the condensation
+    (Tarjan's natural output order: every edge goes from a later component
+    in the returned list to an earlier one, or stays inside one)."""
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[DepNode] = []
+    components: list[list[DepNode]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root.index in index_of:
+            continue
+        # Each work item is (node, iterator over its successor edges).
+        work = [(root, iter(graph.succs(root)))]
+        index_of[root.index] = lowlink[root.index] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root.index)
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for edge in succ_iter:
+                child = edge.dst
+                if child.index not in index_of:
+                    index_of[child.index] = lowlink[child.index] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child.index)
+                    work.append((child, iter(graph.succs(child))))
+                    advanced = True
+                    break
+                if child.index in on_stack:
+                    lowlink[node.index] = min(
+                        lowlink[node.index], index_of[child.index]
+                    )
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent.index] = min(
+                    lowlink[parent.index], lowlink[node.index]
+                )
+            if lowlink[node.index] == index_of[node.index]:
+                component: list[DepNode] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member.index)
+                    component.append(member)
+                    if member is node:
+                        break
+                component.sort(key=lambda n: n.index)
+                components.append(component)
+    return components
+
+
+def condensation_order(graph: DepGraph) -> list[list[DepNode]]:
+    """SCCs in topological order of the condensation (sources first)."""
+    return list(reversed(strongly_connected_components(graph)))

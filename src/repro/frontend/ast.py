@@ -1,0 +1,100 @@
+"""Abstract syntax for the W2-like language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+Expr = Union["Num", "Var", "ArrayRef", "BinOp", "UnOp", "Call"]
+Stmt = Union["Assign", "For", "If"]
+
+
+@dataclass(frozen=True)
+class Num:
+    value: Union[int, float]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    name: str
+    index: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * / div mod and or  < <= > >= = <>
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str  # - not
+    operand: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    """Intrinsic call: abs, max, min, int, float, inverse, sqrt."""
+
+    name: str
+    args: tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Union[Var, ArrayRef]
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class For:
+    var: str
+    start: Expr
+    stop: Expr
+    body: list[Stmt]
+    step: int = 1
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    kind: str  # "int" | "float"
+    array_size: Optional[int] = None  # None for scalars
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Pragmas:
+    """Compiler directives collected from ``{$...}`` comments."""
+
+    independent_arrays: frozenset[str] = frozenset()
+
+
+@dataclass
+class SourceProgram:
+    name: str
+    decls: list[VarDecl]
+    body: list[Stmt]
+    pragmas: Pragmas = Pragmas()

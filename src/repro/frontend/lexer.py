@@ -1,0 +1,117 @@
+"""Tokenizer for the W2-like language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+KEYWORDS = frozenset(
+    {
+        "program", "var", "begin", "end", "for", "to", "downto", "do",
+        "if", "then", "else", "array", "of", "int", "float", "and", "or",
+        "not", "mod", "div", "by",
+    }
+)
+
+SYMBOLS = (
+    ":=", "<=", ">=", "<>", "+", "-", "*", "/", "(", ")", "[", "]",
+    ";", ":", ",", "<", ">", "=", ".",
+)
+
+
+class LexError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "int" | "float" | "symbol" | "eof"
+    text: str
+    line: int
+    value: Optional[Union[int, float]] = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    name: str
+    args: tuple[str, ...]
+    line: int
+
+
+def tokenize(source: str) -> tuple[list[Token], list[Pragma]]:
+    """Split source into tokens; ``{...}`` comments are skipped, except
+    ``{$name args}`` compiler directives, which are collected."""
+    tokens: list[Token] = []
+    pragmas: list[Pragma] = []
+    pos, line = 0, 1
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "{":
+            close = source.find("}", pos)
+            if close < 0:
+                raise LexError(f"line {line}: unterminated comment")
+            body = source[pos + 1:close]
+            if body.startswith("$"):
+                parts = body[1:].replace(",", " ").split()
+                if not parts:
+                    raise LexError(f"line {line}: empty compiler directive")
+                pragmas.append(Pragma(parts[0], tuple(parts[1:]), line))
+            line += source.count("\n", pos, close)
+            pos = close + 1
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            start = pos
+            while pos < n and source[pos].isdigit():
+                pos += 1
+            is_float = False
+            if pos < n and source[pos] == "." and pos + 1 < n and source[pos + 1].isdigit():
+                is_float = True
+                pos += 1
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+            if pos < n and source[pos] in "eE":
+                after = pos + 1
+                if after < n and source[after] in "+-":
+                    after += 1
+                if after < n and source[after].isdigit():
+                    is_float = True
+                    pos = after
+                    while pos < n and source[pos].isdigit():
+                        pos += 1
+            text = source[start:pos]
+            if is_float:
+                tokens.append(Token("float", text, line, float(text)))
+            else:
+                tokens.append(Token("int", text, line, int(text)))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, line))
+            else:
+                tokens.append(Token("ident", text, line))
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, pos):
+                tokens.append(Token("symbol", symbol, line))
+                pos += len(symbol)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens, pragmas

@@ -1,0 +1,43 @@
+"""Loop intermediate representation.
+
+The IR models what the W2 compiler's middle end hands to the scheduler:
+structured programs built from straight-line operations over virtual
+registers, ``for`` loops, and two-armed conditionals.  Memory is accessed
+through named arrays with affine ``base + offset`` subscripts, which is what
+the dependence analyser understands.
+
+The package also provides a reference interpreter
+(:func:`repro.ir.interp.run_program`) that executes the IR sequentially; it
+is the ground truth every generated schedule is validated against.
+"""
+
+from repro.ir.operands import Imm, Operand, Reg, FLOAT, INT
+from repro.ir.ops import Opcode, Operation
+from repro.ir.stmts import ArrayDecl, ForLoop, IfStmt, Program, Stmt
+from repro.ir.builder import LoopBuilder, ProgramBuilder
+from repro.ir.printer import format_program, format_stmts
+from repro.ir.interp import Interpreter, run_program
+from repro.ir.verify import IRError, verify_program
+
+__all__ = [
+    "Reg",
+    "Imm",
+    "Operand",
+    "INT",
+    "FLOAT",
+    "Opcode",
+    "Operation",
+    "ForLoop",
+    "IfStmt",
+    "Program",
+    "Stmt",
+    "ArrayDecl",
+    "LoopBuilder",
+    "ProgramBuilder",
+    "format_program",
+    "format_stmts",
+    "Interpreter",
+    "run_program",
+    "IRError",
+    "verify_program",
+]

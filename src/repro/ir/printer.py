@@ -1,0 +1,37 @@
+"""Human-readable IR dumps."""
+
+from __future__ import annotations
+
+from repro.ir.ops import Operation
+from repro.ir.stmts import ForLoop, IfStmt, Program, Stmt
+
+
+def format_stmts(stmts: list[Stmt], indent: int = 0) -> str:
+    pad = "  " * indent
+    lines: list[str] = []
+    for stmt in stmts:
+        if isinstance(stmt, Operation):
+            lines.append(f"{pad}{stmt!r}")
+        elif isinstance(stmt, ForLoop):
+            step = f" step {stmt.step}" if stmt.step != 1 else ""
+            lines.append(f"{pad}for {stmt.var} := {stmt.start} to {stmt.stop}{step} {{")
+            lines.append(format_stmts(stmt.body, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, IfStmt):
+            lines.append(f"{pad}if {stmt.cond} {{")
+            lines.append(format_stmts(stmt.then_body, indent + 1))
+            if stmt.else_body:
+                lines.append(f"{pad}}} else {{")
+                lines.append(format_stmts(stmt.else_body, indent + 1))
+            lines.append(f"{pad}}}")
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+    return "\n".join(line for line in lines if line)
+
+
+def format_program(program: Program) -> str:
+    lines = [f"program {program.name}:"]
+    for decl in program.arrays.values():
+        lines.append(f"  array {decl.name}[{decl.size}] of {decl.kind}")
+    lines.append(format_stmts(program.body, 1))
+    return "\n".join(lines)

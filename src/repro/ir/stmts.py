@@ -1,0 +1,124 @@
+"""Structured statements: programs, loops, and conditionals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.ir.operands import FLOAT, INT, Imm, Operand, Reg
+from repro.ir.ops import Operation
+
+Stmt = Union[Operation, "ForLoop", "IfStmt"]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A named array of ``size`` elements of ``kind`` (int or float)."""
+
+    name: str
+    size: int
+    kind: str = FLOAT
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"array {self.name!r} needs size >= 1")
+        if self.kind not in (INT, FLOAT):
+            raise ValueError(f"array {self.name!r}: bad element kind {self.kind!r}")
+
+
+@dataclass
+class ForLoop:
+    """``FOR var := start TO stop DO body`` with Pascal-style inclusive
+    bounds and unit (or constant) step.
+
+    The induction-variable increment is implicit in the IR; the dependence
+    analyser materialises it as an explicit ALU operation when it builds the
+    scheduling graph.
+    """
+
+    var: Reg
+    start: Operand
+    stop: Operand
+    body: list[Stmt] = field(default_factory=list)
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.var.kind != INT:
+            raise ValueError(f"induction variable {self.var} must be an int register")
+        if self.step == 0:
+            raise ValueError("loop step must be nonzero")
+
+    @property
+    def trip_count(self) -> Optional[int]:
+        """Number of iterations if statically known, else None."""
+        if isinstance(self.start, Imm) and isinstance(self.stop, Imm):
+            span = self.stop.value - self.start.value
+            if self.step > 0:
+                return max(0, span // self.step + 1)
+            return max(0, (-span) // (-self.step) + 1)
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ForLoop({self.var} := {self.start} to {self.stop}"
+            f" step {self.step}, {len(self.body)} stmts)"
+        )
+
+
+@dataclass
+class IfStmt:
+    """``IF cond THEN ... ELSE ...`` on an integer truth-value operand."""
+
+    cond: Operand
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"IfStmt({self.cond}, then={len(self.then_body)},"
+            f" else={len(self.else_body)})"
+        )
+
+
+@dataclass
+class Program:
+    """A whole compilable unit: array declarations plus a statement body."""
+
+    name: str
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    body: list[Stmt] = field(default_factory=list)
+
+    def array(self, name: str) -> ArrayDecl:
+        return self.arrays[name]
+
+    def declare(self, name: str, size: int, kind: str = FLOAT) -> ArrayDecl:
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already declared")
+        decl = ArrayDecl(name, size, kind)
+        self.arrays[name] = decl
+        return decl
+
+    def inner_loops(self) -> list[ForLoop]:
+        """All innermost loops (loops whose bodies contain no loops)."""
+
+        found: list[ForLoop] = []
+
+        def visit(stmts: list[Stmt]) -> bool:
+            """Return True if any loop was found under ``stmts``."""
+            has_loop = False
+            for stmt in stmts:
+                if isinstance(stmt, ForLoop):
+                    has_loop = True
+                    if not visit(stmt.body):
+                        found.append(stmt)
+                elif isinstance(stmt, IfStmt):
+                    inner = visit(stmt.then_body)
+                    inner = visit(stmt.else_body) or inner
+                    has_loop = has_loop or inner
+            return has_loop
+
+        visit(self.body)
+        return found
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.arrays)} arrays, {len(self.body)} stmts)"

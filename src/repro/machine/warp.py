@@ -1,0 +1,69 @@
+"""Model of one cell of the CMU/GE Warp systolic array.
+
+Each Warp cell (Annaratone et al. 1987) has a 5-stage pipelined
+floating-point multiplier and a 5-stage pipelined floating-point adder; with
+the two-cycle register-file delay, multiplications and additions take 7
+cycles to complete but a new one can be issued every cycle.  The cell also
+has an integer ALU, a single-ported 32K-word data memory, and a sequencer,
+all controlled by one wide instruction per 200 ns cycle (5 MHz).  Peak rate
+is one add plus one multiply per cycle = 10 MFLOPS per cell.
+
+Simplifications relative to the hardware (documented in DESIGN.md): the
+three per-unit register files (2 x 31 words for the FPUs, 64 words for the
+ALU) are modelled as one flat 126-entry register space, and the crossbar is
+assumed conflict-free (the real crossbar is close to orthogonal, which is
+what distinguishes VLIW instruction sets from horizontal microcode).
+"""
+
+from __future__ import annotations
+
+from repro.machine.description import (
+    FLOP_OPCODES,
+    MachineDescription,
+    standard_op_classes,
+)
+from repro.machine.resources import Resource
+
+
+def make_warp(
+    *,
+    fp_latency: int = 7,
+    alu_latency: int = 1,
+    load_latency: int = 4,
+    num_registers: int = 126,
+    clock_mhz: float = 5.0,
+) -> MachineDescription:
+    """Build a Warp-cell machine description.
+
+    The defaults follow the paper: 5-stage FPU pipelines plus the 2-cycle
+    register-file delay give 7-cycle add/multiply latency.
+    """
+    return MachineDescription(
+        "warp-cell",
+        resources=[
+            Resource("fadd", 1),
+            Resource("fmul", 1),
+            Resource("alu", 1),
+            Resource("mem", 1),
+            Resource("seq", 1),
+        ],
+        op_classes=standard_op_classes(
+            alu_latency=alu_latency,
+            fadd_latency=fp_latency,
+            fmul_latency=fp_latency,
+            fdiv_latency=fp_latency * 2,
+            load_latency=load_latency,
+        ),
+        num_registers=num_registers,
+        clock_mhz=clock_mhz,
+        flop_opcodes=FLOP_OPCODES,
+    )
+
+
+#: The default Warp cell used throughout the evaluation.
+WARP = make_warp()
+
+#: Number of cells in a typical Warp array; homogeneous programs run the
+#: same cell program everywhere and never stall, so the array rate is simply
+#: ``WARP_ARRAY_CELLS`` times the cell rate (Lam 1988, section 4.1).
+WARP_ARRAY_CELLS = 10

@@ -1,0 +1,28 @@
+"""Cycle-accurate execution of emitted VLIW code.
+
+The simulator plays the role of the Warp hardware in the paper's
+evaluation: it executes wide instructions one per cycle, commits register
+results after their op-class latency, commits stores one cycle after issue,
+resolves conditional outcomes recorded by ``cbr`` dispatch slots, and
+counts cycles and floating-point operations.
+
+Every run can be (and in the tests, is) validated against the sequential
+reference interpreter: same programs, same initial memory, bit-identical
+final memory.
+"""
+
+from repro.simulator.executor import (
+    SimStats,
+    SimulationError,
+    VLIWSimulator,
+    run_code,
+    run_and_check,
+)
+
+__all__ = [
+    "VLIWSimulator",
+    "SimStats",
+    "SimulationError",
+    "run_code",
+    "run_and_check",
+]

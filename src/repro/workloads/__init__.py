@@ -1,0 +1,27 @@
+"""Evaluation workloads.
+
+* :mod:`repro.workloads.livermore` — the Livermore loops of Table 4-2,
+  hand-translated to the W2-like language the way the paper describes
+  (manual translation from Fortran, INVERSE/SQRT library expansions,
+  disambiguation directives where the paper used them).
+* :mod:`repro.workloads.user_programs` — the representative Warp
+  applications of Table 4-1 (scaled-down problem sizes; rates are
+  steady-state and size-independent, see EXPERIMENTS.md).
+* :mod:`repro.workloads.suite72` — a deterministic 72-program synthetic
+  suite standing in for the paper's proprietary user-program sample
+  (Figures 4-1 and 4-2): same axes of variation — with/without
+  conditionals, with/without recurrences, varying parallelism.
+"""
+
+from repro.workloads.livermore import LIVERMORE_KERNELS, LivermoreKernel
+from repro.workloads.user_programs import USER_PROGRAMS, UserProgram
+from repro.workloads.suite72 import generate_suite, SuiteProgram
+
+__all__ = [
+    "LIVERMORE_KERNELS",
+    "LivermoreKernel",
+    "USER_PROGRAMS",
+    "UserProgram",
+    "generate_suite",
+    "SuiteProgram",
+]

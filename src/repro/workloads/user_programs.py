@@ -1,0 +1,234 @@
+"""Representative Warp application programs (Table 4-1).
+
+Problem sizes are scaled down from the paper's 512x512 images and
+100x100 matrices so cycle-accurate simulation stays fast; the loops reach
+their pipelined steady state within a few iterations, so the MFLOPS rates
+are insensitive to this scaling (see EXPERIMENTS.md).  Like the paper's
+homogeneous cell programs, each source here is the per-cell program; the
+array rate is ten times the cell rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UserProgram:
+    name: str
+    description: str
+    source: str
+    #: Table 4-1 numbers: reported time (ms) and array MFLOPS.
+    paper_mflops: float | None = None
+    has_conditionals: bool = False
+
+
+_IMG = 32      # image side (paper: 512)
+_MAT = 24      # matrix side (paper: 100)
+
+MATMUL = UserProgram(
+    "matmul",
+    f"{_MAT}x{_MAT} matrix multiplication (paper: 100x100)",
+    f"""
+program matmul;
+var a: array[{_MAT * _MAT}] of float;
+    b: array[{_MAT * _MAT}] of float;
+    c: array[{_MAT * _MAT}] of float;
+    aik: float; ci: int; bk: int;
+begin
+  for i := 0 to {_MAT - 1} do begin
+    ci := i * {_MAT};
+    for j := 0 to {_MAT - 1} do
+      c[ci + j] := 0.0;
+  end;
+  for i := 0 to {_MAT - 1} do begin
+    ci := i * {_MAT};
+    for k := 0 to {_MAT - 1} do begin
+      aik := a[ci + k];
+      bk := k * {_MAT};
+      for j := 0 to {_MAT - 1} do
+        c[ci + j] := c[ci + j] + aik * b[bk + j];
+    end;
+  end;
+end.
+""",
+    paper_mflops=79.4,
+)
+
+FFT_STAGE = UserProgram(
+    "fft",
+    "radix-2 FFT butterfly stages (paper: 512x512 complex FFT)",
+    """
+program fft;
+var re: array[256] of float;
+    im: array[256] of float;
+    wr: array[128] of float;
+    wi: array[128] of float;
+    tr: float; ti: float; ar: float; ai: float; br: float; bi: float;
+    cr: float; ci: float;
+begin
+  for k := 0 to 127 do begin
+    ar := re[2*k];    ai := im[2*k];
+    br := re[2*k+1];  bi := im[2*k+1];
+    cr := wr[k];      ci := wi[k];
+    tr := br * cr - bi * ci;
+    ti := br * ci + bi * cr;
+    re[2*k]   := ar + tr;
+    im[2*k]   := ai + ti;
+    re[2*k+1] := ar - tr;
+    im[2*k+1] := ai - ti;
+  end;
+end.
+""",
+    paper_mflops=71.9,
+)
+
+CONV3X3 = UserProgram(
+    "conv3x3",
+    f"3x3 convolution over a {_IMG}x{_IMG} image (paper: 512x512)",
+    f"""
+program conv3x3;
+var img: array[{_IMG * _IMG}] of float;
+    out: array[{_IMG * _IMG}] of float;
+    k0: float; k1: float; k2: float; k3: float; k4: float;
+    k5: float; k6: float; k7: float; k8: float;
+    r0: int; r1: int; r2: int;
+begin
+  k0 := 0.1; k1 := 0.1; k2 := 0.1;
+  k3 := 0.1; k4 := 0.2; k5 := 0.1;
+  k6 := 0.1; k7 := 0.1; k8 := 0.1;
+  for i := 1 to {_IMG - 2} do begin
+    r0 := (i - 1) * {_IMG};
+    r1 := i * {_IMG};
+    r2 := (i + 1) * {_IMG};
+    for j := 1 to {_IMG - 2} do
+      out[r1 + j] :=
+          k0 * img[r0 + j - 1] + k1 * img[r0 + j] + k2 * img[r0 + j + 1]
+        + k3 * img[r1 + j - 1] + k4 * img[r1 + j] + k5 * img[r1 + j + 1]
+        + k6 * img[r2 + j - 1] + k7 * img[r2 + j] + k8 * img[r2 + j + 1];
+  end;
+end.
+""",
+    paper_mflops=65.7,
+)
+
+HOUGH = UserProgram(
+    "hough",
+    f"Hough transform vote accumulation over a {_IMG}x{_IMG} edge image",
+    f"""
+program hough;
+var edge: array[{_IMG * _IMG}] of float;
+    sin_t: array[16] of float;
+    cos_t: array[16] of float;
+    acc: array[1024] of float;
+    rho: float; ri: int; row: int;
+begin
+  for i := 0 to {_IMG - 1} do begin
+    row := i * {_IMG};
+    for j := 0 to {_IMG - 1} do begin
+      if edge[row + j] > 0.5 then begin
+        for t := 0 to 15 do begin
+          rho := float(i) * cos_t[t] + float(j) * sin_t[t];
+          ri := int(rho * 0.25 + 32.0);
+          acc[t * 64 + ri] := acc[t * 64 + ri] + 1.0;
+        end;
+      end;
+    end;
+  end;
+end.
+""",
+    paper_mflops=42.2,
+    has_conditionals=True,
+)
+
+LOCAL_AVERAGING = UserProgram(
+    "selective_averaging",
+    f"local selective averaging over a {_IMG}x{_IMG} image (conditional smoothing)",
+    f"""
+program selavg;
+var img: array[{_IMG * _IMG}] of float;
+    out: array[{_IMG * _IMG}] of float;
+    eps: float; c: float; s: float; n: float;
+    r0: int; r1: int; r2: int;
+begin
+  eps := 0.3;
+  for i := 1 to {_IMG - 2} do begin
+    r0 := (i - 1) * {_IMG};
+    r1 := i * {_IMG};
+    r2 := (i + 1) * {_IMG};
+    for j := 1 to {_IMG - 2} do begin
+      c := img[r1 + j];
+      s := c;
+      n := 1.0;
+      if abs(img[r1 + j - 1] - c) < eps then begin
+        s := s + img[r1 + j - 1]; n := n + 1.0;
+      end;
+      if abs(img[r1 + j + 1] - c) < eps then begin
+        s := s + img[r1 + j + 1]; n := n + 1.0;
+      end;
+      if abs(img[r0 + j] - c) < eps then begin
+        s := s + img[r0 + j]; n := n + 1.0;
+      end;
+      if abs(img[r2 + j] - c) < eps then begin
+        s := s + img[r2 + j]; n := n + 1.0;
+      end;
+      out[r1 + j] := s / n;
+    end;
+  end;
+end.
+""",
+    paper_mflops=39.2,
+    has_conditionals=True,
+)
+
+SHORTEST_PATH = UserProgram(
+    "warshall",
+    "Floyd-Warshall all-pairs shortest paths, 24 nodes (paper: 350 nodes)",
+    f"""
+program warshall;
+{{$independent d}}
+var d: array[{_MAT * _MAT}] of float;
+    dik: float; ci: int; ck: int;
+begin
+  for k := 0 to {_MAT - 1} do begin
+    ck := k * {_MAT};
+    for i := 0 to {_MAT - 1} do begin
+      ci := i * {_MAT};
+      dik := d[ci + k];
+      for j := 0 to {_MAT - 1} do
+        d[ci + j] := min(d[ci + j], dik + d[ck + j]);
+    end;
+  end;
+end.
+""",
+    paper_mflops=15.2,
+)
+
+ROBERTS = UserProgram(
+    "roberts",
+    f"Roberts edge operator over a {_IMG}x{_IMG} image (paper: 512x512)",
+    f"""
+program roberts;
+var img: array[{_IMG * _IMG}] of float;
+    out: array[{_IMG * _IMG}] of float;
+    r1: int; r2: int;
+begin
+  for i := 0 to {_IMG - 2} do begin
+    r1 := i * {_IMG};
+    r2 := (i + 1) * {_IMG};
+    for j := 0 to {_IMG - 2} do
+      out[r1 + j] := abs(img[r1 + j] - img[r2 + j + 1])
+                   + abs(img[r1 + j + 1] - img[r2 + j]);
+  end;
+end.
+""",
+    paper_mflops=8.9,
+)
+
+USER_PROGRAMS: dict[str, UserProgram] = {
+    program.name: program
+    for program in (
+        MATMUL, FFT_STAGE, CONV3X3, HOUGH, LOCAL_AVERAGING,
+        SHORTEST_PATH, ROBERTS,
+    )
+}

@@ -1,0 +1,122 @@
+"""Baselines: local compaction, source unrolling, trace scheduling."""
+
+import pytest
+
+from repro.baselines import (
+    compile_locally_compacted,
+    compile_unrolled,
+    trace_schedule_loop,
+    unroll_program,
+)
+from repro.core.compile import compile_program
+from repro.ir import Opcode, ProgramBuilder, run_program
+from repro.ir.scan import walk_operations
+from repro.machine import WARP
+from repro.simulator import run_and_check
+from conftest import build_conditional, build_dot, build_vadd
+
+
+class TestLocalCompaction:
+    def test_never_pipelines(self):
+        compiled = compile_locally_compacted(build_vadd(100), WARP)
+        assert all(not loop.pipelined for loop in compiled.loops)
+
+    def test_still_correct(self):
+        compiled = compile_locally_compacted(build_conditional(32), WARP)
+        run_and_check(compiled.code)
+
+
+class TestUnrolling:
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    def test_unrolled_program_equivalent(self, factor):
+        program = build_vadd(50)
+        unrolled = unroll_program(program, factor)
+        assert run_program(program) == run_program(unrolled)
+
+    @pytest.mark.parametrize("factor", [2, 4, 7])
+    def test_unrolled_with_remainder_equivalent(self, factor):
+        program = build_vadd(53)  # not divisible by the factor
+        unrolled = unroll_program(program, factor)
+        assert run_program(program) == run_program(unrolled)
+
+    def test_accumulator_stays_serial_and_correct(self):
+        program = build_dot(40)
+        unrolled = unroll_program(program, 4)
+        assert run_program(program) == run_program(unrolled)
+
+    def test_conditionals_cloned(self):
+        program = build_conditional(32)
+        unrolled = unroll_program(program, 2)
+        assert run_program(program) == run_program(unrolled)
+
+    def test_unrolled_body_has_factor_copies(self):
+        program = build_vadd(40)
+        unrolled = unroll_program(program, 4)
+        loop = unrolled.inner_loops()[0]
+        stores = [op for op in walk_operations(loop.body)
+                  if op.opcode is Opcode.STORE]
+        assert len(stores) == 4
+        assert loop.step == 4
+
+    def test_factor_larger_than_trip_is_identity(self):
+        program = build_vadd(3)
+        unrolled = unroll_program(program, 8)
+        assert run_program(program) == run_program(unrolled)
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_compile_unrolled_end_to_end(self, factor):
+        compiled = compile_unrolled(build_vadd(48), WARP, factor)
+        stats = run_and_check(compiled.code)
+        assert stats.flops == 48
+
+    def test_unrolling_improves_but_never_beats_pipelining(self):
+        program = build_vadd(96)
+        pipelined = compile_program(program, WARP)
+        pipe_stats = run_and_check(pipelined.code)
+        previous = None
+        for factor in (1, 2, 4, 8):
+            if factor == 1:
+                compiled = compile_locally_compacted(program, WARP)
+            else:
+                compiled = compile_unrolled(program, WARP, factor)
+            stats = run_and_check(compiled.code)
+            if previous is not None:
+                assert stats.cycles <= previous * 1.05  # monotone-ish
+            previous = stats.cycles
+            assert stats.cycles >= pipe_stats.cycles
+
+    def test_code_size_grows_with_factor(self):
+        program = build_vadd(96)
+        sizes = [
+            compile_unrolled(program, WARP, factor).code_size
+            for factor in (2, 4, 8)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestTrace:
+    def _conditional_loop(self):
+        return build_conditional(32).inner_loops()[0]
+
+    def test_straightline_loop_has_no_compensation(self):
+        loop = build_vadd(32).inner_loops()[0]
+        report = trace_schedule_loop(loop, WARP)
+        assert report.off_trace_ops == 0
+
+    def test_conditional_loop_counts_off_trace(self):
+        report = trace_schedule_loop(self._conditional_loop(), WARP)
+        assert report.off_trace_ops > 0
+        assert report.code_size >= report.trace_ops + report.off_trace_ops
+
+    def test_trace_length_at_least_critical_path(self):
+        report = trace_schedule_loop(self._conditional_loop(), WARP)
+        assert report.trace_length >= 7  # an fadd is on the trace
+
+    def test_nested_loop_rejected(self):
+        pb = ProgramBuilder("nest")
+        pb.array("a", 16)
+        with pb.loop("i", 0, 3) as bi:
+            with bi.loop("j", 0, 3) as bj:
+                bj.store("a", bj.var, 1.0)
+        with pytest.raises(TypeError):
+            trace_schedule_loop(pb.finish().body[0], WARP)

@@ -1,0 +1,69 @@
+"""The ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+program demo;
+var a: array[64] of float;
+begin
+  for i := 0 to 39 do
+    a[i] := a[i] + 1.0;
+end.
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.w2"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCli:
+    def test_compile(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined ii=" in out
+
+    def test_run_validates(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "MFLOPS" in out
+        assert "validated" in out
+
+    def test_disasm(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "kernel (steady state):" in out
+
+    def test_ir(self, source_file, capsys):
+        assert main(["ir", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "program demo:" in out
+        assert "load a[" in out
+
+    def test_no_pipeline_flag(self, source_file, capsys):
+        assert main(["compile", source_file, "--no-pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "unpipelined" in out
+
+    def test_simple_machine(self, source_file, capsys):
+        assert main(["run", source_file, "--machine", "simple"]) == 0
+        assert "validated" in capsys.readouterr().out
+
+    def test_binary_search_flag(self, source_file, capsys):
+        assert main(["compile", source_file, "--search", "binary"]) == 0
+        assert "pipelined" in capsys.readouterr().out
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(SOURCE))
+        assert main(["compile", "-"]) == 0
+        assert "pipelined" in capsys.readouterr().out
+
+    def test_bad_command_rejected(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["optimize", source_file])

@@ -1,0 +1,58 @@
+"""The simulator and the reference interpreter must agree not only on
+results but on dynamic operation counts — predication must execute exactly
+the operations the taken arm would."""
+
+import pytest
+
+from repro.core.compile import CompilerPolicy, compile_program
+from repro.ir import ProgramBuilder
+from repro.ir.interp import Interpreter
+from repro.machine import WARP
+from repro.simulator import run_code
+from conftest import build_conditional, build_dot, build_vadd
+
+
+def _flop_counts(program, policy=CompilerPolicy()):
+    compiled = compile_program(program, WARP, policy)
+    stats, _memory = run_code(compiled.code)
+    interp = Interpreter(program)
+    interp.run()
+    return stats.flops, interp.flop_count
+
+
+@pytest.mark.parametrize("builder", [build_vadd, build_dot, build_conditional])
+def test_flops_match_interpreter(builder):
+    simulated, interpreted = _flop_counts(builder(64))
+    assert simulated == interpreted
+
+
+@pytest.mark.parametrize("builder", [build_vadd, build_dot, build_conditional])
+def test_flops_match_without_pipelining(builder):
+    simulated, interpreted = _flop_counts(
+        builder(64), CompilerPolicy(pipeline=False)
+    )
+    assert simulated == interpreted
+
+
+def test_unbalanced_arms_count_taken_side_only():
+    pb = ProgramBuilder("p")
+    pb.array("a", 64)
+    with pb.loop("i", 0, 31) as body:
+        x = body.load("a", body.var)
+        cond = body.fgt(x, 0.0)
+        with body.if_(cond) as (then, other):
+            # THEN: 3 flops; ELSE: 1 flop.
+            then.store("a", then.var,
+                       then.fadd(then.fmul(then.fadd(x, 1.0), 2.0), 3.0))
+            other.store("a", other.var, other.fneg(x))
+    simulated, interpreted = _flop_counts(pb.finish())
+    assert simulated == interpreted
+
+
+def test_loads_and_stores_match():
+    program = build_conditional(48)
+    compiled = compile_program(program, WARP)
+    stats, _ = run_code(compiled.code)
+    # Every iteration does exactly one load and one (predicated) store.
+    assert stats.loads == 48
+    assert stats.stores == 48

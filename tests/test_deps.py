@@ -1,0 +1,366 @@
+"""Dependence analysis: graph, edges, distances, SCCs, affine forms."""
+
+import pytest
+
+from repro.deps import (
+    DepGraph,
+    DepNode,
+    DependenceOptions,
+    build_block_graph,
+    build_loop_graph,
+    condensation_order,
+    strongly_connected_components,
+)
+from repro.deps.affine import Affine
+from repro.deps.build import node_from_operation
+from repro.deps.graph import DefInfo
+from repro.ir import FLOAT, ForLoop, Imm, Opcode, Operation, ProgramBuilder, Reg
+from repro.machine import WARP
+from repro.machine.resources import ReservationTable
+
+
+def _loop(body_fn, n=9, var="i"):
+    pb = ProgramBuilder("t")
+    pb.array("a", 64)
+    pb.array("b", 64)
+    with pb.loop(var, 0, n) as builder:
+        body_fn(builder)
+    return pb.finish().body[-1]
+
+
+def _edges(graph):
+    return {
+        (e.src.index, e.dst.index, e.omega, e.kind): e.delay
+        for e in graph.edges
+    }
+
+
+class TestDepGraph:
+    def _node(self, index):
+        return DepNode(index, ReservationTable.single("alu"),
+                       Operation(Opcode.NOP))
+
+    def test_parallel_edges_keep_max_delay(self):
+        graph = DepGraph()
+        a, b = self._node(0), self._node(1)
+        graph.add_node(a)
+        graph.add_node(b)
+        graph.add_edge(a, b, 2, 0)
+        graph.add_edge(a, b, 5, 0)
+        graph.add_edge(a, b, 1, 0)
+        assert len(graph.edges) == 1
+        assert graph.edges[0].delay == 5
+
+    def test_different_omegas_kept_separately(self):
+        graph = DepGraph()
+        a, b = self._node(0), self._node(1)
+        graph.add_node(a)
+        graph.add_node(b)
+        graph.add_edge(a, b, 2, 0)
+        graph.add_edge(a, b, 2, 1)
+        assert len(graph.edges) == 2
+
+    def test_vacuous_self_edge_dropped(self):
+        graph = DepGraph()
+        a = self._node(0)
+        graph.add_node(a)
+        graph.add_edge(a, a, 0, 0)
+        assert not graph.edges
+
+    def test_illegal_self_edge_raises(self):
+        graph = DepGraph()
+        a = self._node(0)
+        graph.add_node(a)
+        with pytest.raises(ValueError, match="self-dependence"):
+            graph.add_edge(a, a, 1, 0)
+
+    def test_negative_omega_rejected(self):
+        graph = DepGraph()
+        a, b = self._node(0), self._node(1)
+        with pytest.raises(ValueError):
+            graph.add_edge(a, b, 0, -1)
+
+    def test_preds_and_succs(self):
+        graph = DepGraph()
+        a, b = self._node(0), self._node(1)
+        graph.add_node(a)
+        graph.add_node(b)
+        graph.add_edge(a, b, 1, 0)
+        assert [e.dst for e in graph.succs(a)] == [b]
+        assert [e.src for e in graph.preds(b)] == [a]
+
+
+class TestRegisterEdges:
+    def test_flow_delay_is_latency(self):
+        loop = _loop(lambda b: b.store("a", b.var, b.fadd(b.load("a", b.var), 1.0)))
+        graph = build_loop_graph(loop, WARP)
+        edges = _edges(graph)
+        # load (0) -> fadd (1): load latency 4
+        assert edges[(0, 1, 0, "flow")] == 4
+        # fadd (1) -> store (2): fadd latency 7
+        assert edges[(1, 2, 0, "flow")] == 7
+
+    def test_anti_edge_into_increment(self):
+        loop = _loop(lambda b: b.store("a", b.var, 1.0))
+        graph = build_loop_graph(loop, WARP)
+        edges = _edges(graph)
+        # store (0) uses i; increment (1) rewrites it: anti, delay 1-lat(add)=0
+        assert edges[(0, 1, 0, "anti")] == 0
+
+    def test_increment_self_recurrence(self):
+        loop = _loop(lambda b: b.store("a", b.var, 1.0))
+        graph = build_loop_graph(loop, WARP)
+        edges = _edges(graph)
+        assert edges[(1, 1, 1, "flow")] == 1  # iv chain
+
+    def test_expansion_drops_anti_and_output(self):
+        def body(b):
+            x = b.load("a", b.var)
+            b.store("b", b.var, b.fadd(x, 1.0))
+
+        loop = _loop(body)
+        plain = build_loop_graph(loop, WARP)
+        x_reg = loop.body[0].dest
+        expanded = build_loop_graph(
+            loop, WARP,
+            DependenceOptions(expanded_regs=frozenset(
+                {x_reg, loop.body[1].dest, loop.var}
+            )),
+        )
+        plain_kinds = {e.kind for e in plain.edges}
+        assert "anti" in plain_kinds
+        assert all(e.kind != "anti" for e in expanded.edges)
+        assert all(e.kind != "output" for e in expanded.edges)
+        # True flow is never dropped.
+        assert any(e.kind == "flow" and e.omega == 1 for e in expanded.edges)
+
+    def test_accumulator_flow_crosses_iterations(self):
+        pb = ProgramBuilder("t")
+        pb.array("a", 64)
+        s = pb.fmov(0.0)
+        with pb.loop("i", 0, 9) as b:
+            b.fadd(s, b.load("a", b.var), dest=s)
+        loop = pb.finish().body[-1]
+        graph = build_loop_graph(loop, WARP)
+        edges = _edges(graph)
+        assert edges[(1, 1, 1, "flow")] == 7  # fadd feeding itself
+
+
+class TestMemoryDistances:
+    def test_same_index_no_carried_dep(self):
+        loop = _loop(lambda b: b.store("a", b.var, b.fadd(b.load("a", b.var), 1.0)))
+        graph = build_loop_graph(loop, WARP)
+        mem = [e for e in graph.edges if e.kind == "mem"]
+        assert all(e.omega == 0 for e in mem)
+
+    def test_distance_one_recurrence(self):
+        loop = _loop(
+            lambda b: b.store("a", b.var,
+                              b.fadd(b.load("a", b.var, offset=-1), 1.0)),
+            var="k",
+        )
+        graph = build_loop_graph(loop, WARP)
+        mem = [e for e in graph.edges if e.kind == "mem" and e.omega == 1]
+        assert len(mem) == 1
+        edge = mem[0]
+        # store (later in source) -> load of the next iteration, delay 1
+        assert edge.src.index == 2 and edge.dst.index == 0
+        assert edge.delay == 1
+
+    def test_negative_direction_distance(self):
+        # store a[i], load a[i+2]: the load reads two iterations ahead of
+        # the store, i.e. the load -> store anti distance is 2.
+        def body(b):
+            x = b.load("a", b.var, offset=2)
+            b.store("a", b.var, x)
+
+        graph = build_loop_graph(_loop(body), WARP)
+        mem = [e for e in graph.edges if e.kind == "mem"]
+        assert len(mem) == 1
+        edge = mem[0]
+        assert edge.omega == 2
+        assert edge.src.payload.opcode is Opcode.LOAD
+
+    def test_step_divides_distance(self):
+        pb = ProgramBuilder("t")
+        pb.array("a", 64)
+        with pb.loop("i", 0, 20, step=2) as b:
+            b.store("a", b.var, b.fadd(b.load("a", b.var, offset=-2), 1.0))
+        graph = build_loop_graph(pb.finish().body[-1], WARP)
+        mem = [e for e in graph.edges if e.kind == "mem"]
+        assert [e.omega for e in mem] == [1]  # distance 2 / step 2
+
+    def test_odd_offset_with_even_step_is_independent(self):
+        pb = ProgramBuilder("t")
+        pb.array("a", 64)
+        with pb.loop("i", 0, 20, step=2) as b:
+            b.store("a", b.var, b.fadd(b.load("a", b.var, offset=-1), 1.0))
+        graph = build_loop_graph(pb.finish().body[-1], WARP)
+        assert not [e for e in graph.edges if e.kind == "mem"]
+
+    def test_different_arrays_independent(self):
+        def body(b):
+            b.store("b", b.var, b.load("a", b.var))
+
+        graph = build_loop_graph(_loop(body), WARP)
+        assert not [e for e in graph.edges if e.kind == "mem"]
+
+    def test_loads_never_depend_on_loads(self):
+        def body(b):
+            x = b.load("a", b.var)
+            y = b.load("a", b.var)
+            b.store("b", b.var, b.fadd(x, y))
+
+        graph = build_loop_graph(_loop(body), WARP)
+        mem = [e for e in graph.edges if e.kind == "mem"]
+        assert not mem
+
+    def test_computed_index_is_conservative(self):
+        def body(b):
+            idx = b.mul(b.var, b.var)  # non-affine
+            b.store("a", idx, 1.0)
+            x = b.load("a", b.var)
+            b.store("b", b.var, x)
+
+        graph = build_loop_graph(_loop(body), WARP)
+        mem = [(e.src.index, e.dst.index, e.omega) for e in graph.edges
+               if e.kind == "mem"]
+        assert (1, 2, 0) in mem  # store then load, same iteration
+        assert (2, 1, 1) in mem  # conservative backward distance 1
+
+    def test_independent_directive_drops_carried(self):
+        def body(b):
+            idx = b.mul(b.var, b.var)
+            b.store("a", idx, 1.0)
+            x = b.load("a", b.var)
+            b.store("b", b.var, x)
+
+        graph = build_loop_graph(
+            _loop(body), WARP,
+            DependenceOptions(independent_arrays=frozenset({"a"})),
+        )
+        mem = [(e.src.index, e.dst.index, e.omega) for e in graph.edges
+               if e.kind == "mem"]
+        assert (1, 2, 0) in mem      # same-iteration order kept
+        assert (2, 1, 1) not in mem  # carried dependence dropped
+
+    def test_invariant_base_distinct_offsets_independent(self):
+        pb = ProgramBuilder("t")
+        pb.array("a", 64)
+        base = pb.mov(4)
+        with pb.loop("i", 0, 9) as b:
+            b.store("a", base, 1.0)
+            x = b.load("a", base, offset=1)
+            b.store("a", base, x, offset=2)
+        graph = build_loop_graph(pb.finish().body[-1], WARP)
+        # store a[base] vs load a[base+1] vs store a[base+2]: all distinct.
+        assert not [e for e in graph.edges if e.kind == "mem"]
+
+    def test_invariant_base_same_offset_serialised(self):
+        pb = ProgramBuilder("t")
+        pb.array("a", 64)
+        base = pb.mov(4)
+        with pb.loop("i", 0, 9) as b:
+            x = b.load("a", base)
+            b.store("a", base, b.fadd(x, 1.0))
+        graph = build_loop_graph(pb.finish().body[-1], WARP)
+        mem = {(e.src.index, e.dst.index, e.omega) for e in graph.edges
+               if e.kind == "mem"}
+        assert (0, 2, 0) in mem  # load before store, same iteration
+        assert (2, 0, 1) in mem  # store feeds next iteration's load
+
+
+class TestAffine:
+    def test_through_temporaries(self):
+        pb = ProgramBuilder("t")
+        pb.array("a", 256)
+        row = pb.mov(32)
+        with pb.loop("j", 0, 9) as b:
+            x = b.load("a", b.add(row, b.var))
+            b.store("a", b.add(row, b.var), b.fadd(x, 1.0), offset=0)
+        graph = build_loop_graph(pb.finish().body[-1], WARP)
+        mem = [e for e in graph.edges if e.kind == "mem"]
+        # Exactly the same-iteration pair; no conservative omega=1 edge.
+        assert [(e.omega) for e in mem] == [0]
+
+    def test_strided_access_distance(self):
+        pb = ProgramBuilder("t")
+        pb.array("a", 256)
+        with pb.loop("j", 0, 9) as b:
+            idx = b.mul(b.var, 2)
+            x = b.load("a", idx, offset=-2)
+            b.store("a", idx, b.fadd(x, 1.0))
+        graph = build_loop_graph(pb.finish().body[-1], WARP)
+        carried = [e for e in graph.edges if e.kind == "mem" and e.omega == 1]
+        assert len(carried) == 1  # store a[2j] -> load a[2(j+1)-2]
+
+    def test_affine_algebra(self):
+        i = Affine.of_iv()
+        c = Affine.constant(3)
+        r = Affine.of_reg(Reg("row"))
+        combo = (i + r).scaled(2) + c
+        assert combo.iv_coef == 2
+        assert combo.const == 3
+        assert combo.syms == ((Reg("row"), 2),)
+
+    def test_affine_subtraction_cancels(self):
+        r = Affine.of_reg(Reg("row"))
+        assert (r - r).is_constant
+
+    def test_shape_ignores_constant(self):
+        a = Affine.of_iv() + Affine.constant(5)
+        b = Affine.of_iv() + Affine.constant(-2)
+        assert a.shape() == b.shape()
+
+
+class TestScc:
+    def _diamond(self):
+        graph = DepGraph()
+        nodes = [
+            DepNode(i, ReservationTable.single("alu"), Operation(Opcode.NOP))
+            for i in range(4)
+        ]
+        for node in nodes:
+            graph.add_node(node)
+        return graph, nodes
+
+    def test_acyclic_graph_is_singletons(self):
+        graph, nodes = self._diamond()
+        graph.add_edge(nodes[0], nodes[1], 1, 0)
+        graph.add_edge(nodes[1], nodes[2], 1, 0)
+        components = strongly_connected_components(graph)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 4
+
+    def test_cycle_collapses(self):
+        graph, nodes = self._diamond()
+        graph.add_edge(nodes[0], nodes[1], 1, 0)
+        graph.add_edge(nodes[1], nodes[0], 1, 1)
+        graph.add_edge(nodes[1], nodes[2], 1, 0)
+        components = strongly_connected_components(graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 1, 2]
+
+    def test_condensation_topological(self):
+        graph, nodes = self._diamond()
+        graph.add_edge(nodes[2], nodes[3], 1, 0)
+        graph.add_edge(nodes[0], nodes[2], 1, 0)
+        order = condensation_order(graph)
+        position = {c[0].index: i for i, c in enumerate(order)}
+        assert position[0] < position[2] < position[3]
+
+    def test_self_loop_is_still_singleton_component(self):
+        graph, nodes = self._diamond()
+        graph.add_edge(nodes[0], nodes[0], 1, 1)
+        components = strongly_connected_components(graph)
+        assert len(components) == 4
+
+    def test_two_interlocked_cycles(self):
+        graph, nodes = self._diamond()
+        graph.add_edge(nodes[0], nodes[1], 1, 0)
+        graph.add_edge(nodes[1], nodes[2], 1, 0)
+        graph.add_edge(nodes[2], nodes[0], 1, 1)
+        graph.add_edge(nodes[2], nodes[3], 1, 0)
+        graph.add_edge(nodes[3], nodes[2], 1, 1)
+        components = strongly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [4]

@@ -1,0 +1,82 @@
+"""Static instance-coverage invariant of pipelined emission.
+
+For a loop of ``n = k + passes*unroll`` iterations, every operation of the
+body must be emitted exactly once per iteration across prolog, kernel
+(times passes) and epilog — no instance lost, none duplicated.  This is
+the structural identity behind the region layout derivation in
+``repro.core.emit``.
+"""
+
+import pytest
+
+from repro.core.compile import compile_program
+from repro.core.emit import PipelinedLoopRegion, SequentialLoopRegion
+from repro.ir import Opcode, ProgramBuilder
+from repro.machine import SIMPLE, WARP, make_warp
+from conftest import build_conditional, build_dot, build_vadd
+
+
+def _pipelined_regions(regions):
+    for region in regions:
+        if isinstance(region, PipelinedLoopRegion):
+            yield region
+        elif isinstance(region, SequentialLoopRegion):
+            yield from _pipelined_regions(region.body)
+
+
+def _opcode_instances(region, opcode):
+    def count(instructions):
+        return sum(
+            1 for instr in instructions for slot in instr.slots
+            if slot.op.opcode is opcode
+        )
+
+    assert isinstance(region.passes, int)
+    return (
+        count(region.prolog)
+        + region.passes * count(region.kernel)
+        + count(region.epilog)
+    )
+
+
+@pytest.mark.parametrize("trip", [12, 13, 17, 40, 100])
+@pytest.mark.parametrize(
+    "machine", [WARP, SIMPLE, make_warp(fp_latency=3)], ids=lambda m: m.name
+)
+def test_every_iteration_emitted_exactly_once(trip, machine):
+    compiled = compile_program(build_vadd(trip), machine)
+    report = compiled.loops[0]
+    if not report.pipelined:
+        pytest.skip("not pipelined at this size")
+    region = next(_pipelined_regions(compiled.code.regions))
+    pipelined_iterations = (
+        region.started_in_prolog + region.passes * region.unroll
+    )
+    assert pipelined_iterations + report.peeled == trip
+    # One store per iteration in the pipelined part.
+    assert _opcode_instances(region, Opcode.STORE) == pipelined_iterations
+    assert _opcode_instances(region, Opcode.LOAD) == pipelined_iterations
+    assert _opcode_instances(region, Opcode.FADD) == pipelined_iterations
+
+
+def test_conditional_dispatches_once_per_iteration():
+    compiled = compile_program(build_conditional(40), WARP)
+    report = compiled.loops[0]
+    if not report.pipelined:
+        pytest.skip("not pipelined")
+    region = next(_pipelined_regions(compiled.code.regions))
+    iterations = region.started_in_prolog + region.passes * region.unroll
+    assert _opcode_instances(region, Opcode.CBR) == iterations
+
+
+def test_branch_once_per_kernel_pass():
+    compiled = compile_program(build_dot(60), WARP)
+    region = next(_pipelined_regions(compiled.code.regions))
+    cjumps = sum(
+        1 for instr in region.kernel for slot in instr.slots
+        if slot.op.opcode is Opcode.CJUMP
+    )
+    assert cjumps == 1
+    assert any(
+        slot.op.opcode is Opcode.CJUMP for slot in region.kernel[-1].slots
+    )

@@ -1,0 +1,99 @@
+"""Section 3.3 overlap: live-out cleanup folded into the epilog."""
+
+import pytest
+
+from repro.core.compile import compile_program
+from repro.core.emit import (
+    BlockRegion,
+    PipelinedLoopRegion,
+    SequentialLoopRegion,
+    WideInstruction,
+    fold_into_epilog,
+)
+from repro.ir import FLOAT, Imm, Opcode, Operation, Reg
+from repro.machine import WARP
+from repro.simulator import run_and_check
+from conftest import build_dot
+
+
+def _regions(regions):
+    for region in regions:
+        yield region
+        if isinstance(region, SequentialLoopRegion):
+            yield from _regions(region.body)
+
+
+class TestFoldIntoEpilog:
+    def _empty_region(self, epilog_len=4):
+        return PipelinedLoopRegion(
+            prolog=[], kernel=[WideInstruction()],
+            epilog=[WideInstruction() for _ in range(epilog_len)],
+            passes=1, unroll=1, started_in_prolog=0, ii=1,
+        )
+
+    def test_places_at_earliest_cycle(self):
+        region = self._empty_region()
+        op = Operation(Opcode.MOV, Reg("R1"), (Reg("R0"),))
+        fold_into_epilog(region, WARP, [(op, 2)])
+        assert region.epilog[2].slots[0].op is op
+
+    def test_extends_epilog_when_needed(self):
+        region = self._empty_region(epilog_len=1)
+        op = Operation(Opcode.FMOV, Reg("R1", FLOAT), (Reg("R0", FLOAT),))
+        fold_into_epilog(region, WARP, [(op, 3)])
+        # Placed at 3, fmov latency 7: epilog must reach cycle 10.
+        assert len(region.epilog) == 10
+
+    def test_respects_resource_conflicts(self):
+        region = self._empty_region()
+        first = Operation(Opcode.MOV, Reg("R1"), (Imm(1),))
+        second = Operation(Opcode.MOV, Reg("R2"), (Imm(2),))
+        fold_into_epilog(region, WARP, [(first, 0), (second, 0)])
+        # One ALU: the second mov must slip to the next cycle.
+        assert region.epilog[0].slots[0].op is first
+        assert region.epilog[1].slots[0].op is second
+
+    def test_dataflow_between_tail_ops(self):
+        region = self._empty_region()
+        produce = Operation(Opcode.MOV, Reg("R1"), (Imm(5),))
+        consume = Operation(Opcode.ADD, Reg("R2"), (Reg("R1"), Imm(1)))
+        fold_into_epilog(region, WARP, [(produce, 0), (consume, 0)])
+        produce_time = next(
+            t for t, instr in enumerate(region.epilog)
+            if any(s.op is produce for s in instr.slots)
+        )
+        consume_time = next(
+            t for t, instr in enumerate(region.epilog)
+            if any(s.op is consume for s in instr.slots)
+        )
+        assert consume_time >= produce_time + WARP.latency("mov")
+
+
+class TestEndToEndFolding:
+    def test_no_separate_cleanup_block(self):
+        compiled = compile_program(build_dot(100), WARP)
+        # Between the pipelined region and the final store segment there is
+        # no fmov-carrying glue block: cleanup lives inside the epilog.
+        regions = list(_regions(compiled.code.regions))
+        pipelined = next(
+            i for i, r in enumerate(compiled.code.regions)
+            if isinstance(r, PipelinedLoopRegion)
+        )
+        trailing = compiled.code.regions[pipelined + 1:]
+        for region in trailing:
+            if isinstance(region, BlockRegion) and region.label == "glue":
+                movs = [
+                    s for instr in region.instructions for s in instr.slots
+                    if s.op.opcode in (Opcode.MOV, Opcode.FMOV)
+                ]
+                assert not movs
+        epilog = compiled.code.regions[pipelined].epilog
+        folded = [
+            s for instr in epilog for s in instr.slots
+            if s.op.opcode is Opcode.FMOV
+        ]
+        assert folded  # the accumulator copy-out
+
+    def test_folded_code_still_correct(self):
+        compiled = compile_program(build_dot(100), WARP)
+        run_and_check(compiled.code)

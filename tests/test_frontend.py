@@ -1,0 +1,265 @@
+"""Front end: lexer, parser, lowering, pragmas, intrinsics."""
+
+import pytest
+
+from repro.frontend import (
+    LexError,
+    LowerError,
+    ParseError,
+    parse,
+    parse_program,
+    tokenize,
+)
+from repro.frontend import ast
+from repro.ir import FLOAT, INT, ForLoop, IfStmt, Opcode, Operation, run_program
+from repro.ir.scan import walk_operations
+from conftest import compile_and_check
+
+
+def lower_source(source):
+    program, _ = parse_program(source)
+    return program
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens, _ = tokenize("PROGRAM For BEGIN")
+        assert [t.text for t in tokens[:-1]] == ["program", "for", "begin"]
+
+    def test_numbers(self):
+        tokens, _ = tokenize("42 3.5 1e3 2.5e-2")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 3.5
+        assert tokens[2].value == 1000.0
+        assert tokens[3].value == 0.025
+
+    def test_symbols_longest_match(self):
+        tokens, _ = tokenize(":= <= <>")
+        assert [t.text for t in tokens[:-1]] == [":=", "<=", "<>"]
+
+    def test_comments_skipped(self):
+        tokens, _ = tokenize("a { a comment } b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_pragmas_collected(self):
+        _, pragmas = tokenize("{$independent x, y} a")
+        assert pragmas[0].name == "independent"
+        assert pragmas[0].args == ("x", "y")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("{ forever")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a ? b")
+
+    def test_line_numbers_tracked(self):
+        tokens, _ = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in tokens[:-1]}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+class TestParser:
+    def test_minimal_program(self):
+        source = "program p; begin end."
+        parsed = parse(source)
+        assert parsed.name == "p"
+        assert parsed.body == []
+
+    def test_var_declarations(self):
+        parsed = parse(
+            "program p; var a: array[8] of float; n, m: int; begin end."
+        )
+        decls = {d.name: d for d in parsed.decls}
+        assert decls["a"].array_size == 8
+        assert decls["n"].kind == "int" and decls["n"].array_size is None
+        assert decls["m"].kind == "int"
+
+    def test_for_loop_with_by(self):
+        parsed = parse(
+            "program p; var x: int; begin for i := 0 to 8 by 2 do x := i; end."
+        )
+        loop = parsed.body[0]
+        assert loop.step == 2
+
+    def test_downto(self):
+        parsed = parse(
+            "program p; var x: int; begin for i := 8 downto 0 do x := i; end."
+        )
+        assert parsed.body[0].step == -1
+
+    def test_if_else_binding(self):
+        parsed = parse(
+            """program p; var x: int; begin
+              if x > 0 then x := 1 else x := 2;
+            end."""
+        )
+        stmt = parsed.body[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_operator_precedence(self):
+        parsed = parse(
+            "program p; var x: int; begin x := 1 + 2 * 3; end."
+        )
+        value = parsed.body[0].value
+        assert value.op == "+"
+        assert value.right.op == "*"
+
+    def test_relational_binds_loosest(self):
+        parsed = parse(
+            "program p; var x: int; begin x := 1 + 2 < 3 * 4; end."
+        )
+        assert parsed.body[0].value.op == "<"
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(ParseError, match="unknown intrinsic"):
+            parse("program p; var x: float; begin x := cbrt(8.0); end.")
+
+    def test_unknown_pragma_rejected(self):
+        with pytest.raises(ParseError, match="unknown directive"):
+            parse("program p; {$vectorize} begin end.")
+
+    def test_missing_do(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse("program p; begin for i := 0 to 3 begin end; end.")
+
+    def test_trailing_semicolons_tolerated(self):
+        parse("program p; var x: int; begin x := 1;; end.")
+
+    def test_pragma_reaches_compiler(self):
+        _, pragmas = parse_program(
+            "program p; {$independent foo} begin end."
+        )
+        assert "foo" in pragmas.independent_arrays
+
+
+class TestLowering:
+    def test_float_promotion_in_mixed_expression(self):
+        program = lower_source(
+            """program p; var a: array[4] of float; n: int;
+            begin n := 2; a[0] := n * 1.5; end."""
+        )
+        opcodes = [op.opcode for op in walk_operations(program.body)]
+        assert Opcode.I2F in opcodes
+        assert Opcode.FMUL in opcodes
+
+    def test_subscript_offsets_folded(self):
+        program = lower_source(
+            """program p; var a: array[16] of float;
+            begin for i := 1 to 10 do a[i - 1] := a[i + 2]; end."""
+        )
+        loop = program.body[0]
+        load = next(op for op in loop.body if op.opcode is Opcode.LOAD)
+        store = next(op for op in loop.body if op.opcode is Opcode.STORE)
+        assert load.offset == 2
+        assert store.offset == -1
+
+    def test_accumulator_folds_to_single_def(self):
+        program = lower_source(
+            """program p; var a: array[8] of float; s: float;
+            begin s := 0.0; for i := 0 to 7 do s := s + a[i]; end."""
+        )
+        loop = program.body[-1]
+        fadds = [op for op in loop.body if op.opcode is Opcode.FADD]
+        assert len(fadds) == 1
+        assert fadds[0].dest.name == "s"
+
+    def test_assign_to_loop_var_rejected(self):
+        with pytest.raises(LowerError, match="loop variable"):
+            lower_source(
+                "program p; var x: int; begin for i := 0 to 3 do i := 0; end."
+            )
+
+    def test_undeclared_variable(self):
+        with pytest.raises(LowerError, match="undeclared"):
+            lower_source("program p; begin ghost := 1; end.")
+
+    def test_int_div_of_floats_rejected(self):
+        with pytest.raises(LowerError, match="integer operands"):
+            lower_source(
+                "program p; var x: float; begin x := 1.0 div 2.0; end."
+            )
+
+    def test_float_to_int_assignment_needs_cast(self):
+        with pytest.raises(LowerError, match="use int"):
+            lower_source("program p; var n: int; begin n := 1.5; end.")
+
+    def test_int_cast_allows_it(self):
+        program = lower_source(
+            "program p; var n: int; begin n := int(1.5 * 2.0); end."
+        )
+        opcodes = [op.opcode for op in walk_operations(program.body)]
+        assert Opcode.F2I in opcodes
+
+    def test_not_lowered_as_compare(self):
+        program = lower_source(
+            """program p; var x: int; y: int;
+            begin x := 1; y := not (x > 0); end."""
+        )
+        opcodes = [op.opcode for op in walk_operations(program.body)]
+        assert Opcode.EQ in opcodes
+
+    def test_inverse_expands_to_seven_flops(self):
+        program = lower_source(
+            "program p; var x: float; begin x := inverse(4.0); end."
+        )
+        flops = [
+            op for op in walk_operations(program.body)
+            if op.opcode in (Opcode.FDIV, Opcode.FMUL, Opcode.FSUB)
+        ]
+        assert len(flops) == 7
+
+    def test_inverse_value(self):
+        program = lower_source(
+            """program p; var a: array[2] of float;
+            begin a[0] := inverse(4.0); end."""
+        )
+        memory = run_program(program)
+        assert memory[("a", 0)] == pytest.approx(0.25)
+
+    def test_sqrt_value(self):
+        program = lower_source(
+            """program p; var a: array[2] of float;
+            begin a[0] := sqrt(9.0); end."""
+        )
+        memory = run_program(program)
+        assert memory[("a", 0)] == pytest.approx(3.0, rel=1e-6)
+
+    def test_abs_max_min(self):
+        program = lower_source(
+            """program p; var a: array[4] of float;
+            begin
+              a[0] := abs(-2.0);
+              a[1] := max(1.0, 2.0);
+              a[2] := min(1.0, 2.0);
+            end."""
+        )
+        memory = run_program(program)
+        assert memory[("a", 0)] == 2.0
+        assert memory[("a", 1)] == 2.0
+        assert memory[("a", 2)] == 1.0
+
+    def test_boolean_connectives(self):
+        program = lower_source(
+            """program p; var a: array[2] of float; x: int;
+            begin
+              x := 1;
+              if (x > 0) and (x < 2) then a[0] := 1.0 else a[0] := 2.0;
+            end."""
+        )
+        assert run_program(program)[("a", 0)] == 1.0
+
+    def test_end_to_end_source_program(self):
+        source = """
+        program saxpy;
+        var x: array[64] of float;
+            y: array[64] of float;
+        begin
+          for i := 0 to 63 do
+            y[i] := 2.0 * x[i] + y[i];
+        end.
+        """
+        program, _ = parse_program(source)
+        compile_and_check(program)

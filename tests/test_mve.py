@@ -1,0 +1,133 @@
+"""Modulo variable expansion: qualification, lifetimes, unroll policies."""
+
+import math
+
+import pytest
+
+from repro.core.mve import (
+    MIN_REGISTERS,
+    MIN_UNROLL,
+    ExpansionPlan,
+    _smallest_factor_at_least,
+    expandable_registers,
+    plan_expansion,
+)
+from repro.core.pipeliner import ModuloScheduler
+from repro.core.reduction import build_reduced_loop_graph
+from repro.ir import ProgramBuilder, Reg
+from repro.machine import WARP, make_warp
+
+
+def _vadd_plan(policy=MIN_UNROLL, fp_latency=7):
+    machine = make_warp(fp_latency=fp_latency)
+    pb = ProgramBuilder("vadd")
+    pb.array("a", 256)
+    with pb.loop("i", 0, 99) as body:
+        x = body.load("a", body.var)
+        body.store("a", body.var, body.fadd(x, 1.5))
+    lg = build_reduced_loop_graph(pb.finish().body[-1], machine)
+    result = ModuloScheduler(machine).schedule(lg.graph)
+    return plan_expansion(result.schedule, lg.options.expanded_regs, policy), \
+        result.schedule
+
+
+class TestQualification:
+    def test_single_def_temporaries_qualify(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 64)
+        with pb.loop("i", 0, 9) as body:
+            x = body.load("a", body.var)
+            body.store("a", body.var, body.fadd(x, 1.0))
+        lg = build_reduced_loop_graph(pb.finish().body[-1], WARP)
+        names = {reg.name for reg in lg.options.expanded_regs}
+        assert "i" in names          # induction variable rotates
+        assert x.name in names
+
+    def test_multiply_defined_register_excluded(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 64)
+        t = pb.freg("t")
+        with pb.loop("i", 0, 9) as body:
+            body.fmov(1.0, dest=t)
+            body.fadd(t, 2.0, dest=t)
+            body.store("a", body.var, t)
+        lg = build_reduced_loop_graph(pb.finish().body[-1], WARP)
+        assert t not in lg.options.expanded_regs
+
+    def test_conditionally_defined_register_excluded(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 64)
+        t = pb.freg("t")
+        pb.fmov(0.0, dest=t)
+        with pb.loop("i", 0, 9) as body:
+            x = body.load("a", body.var)
+            cond = body.fgt(x, 0.0)
+            with body.if_(cond) as (then, _):
+                then.fmov(1.0, dest=t)
+            body.store("a", body.var, t)
+        lg = build_reduced_loop_graph(pb.finish().body[-1], WARP)
+        assert t not in lg.options.expanded_regs
+
+
+class TestLifetimes:
+    def test_iv_needs_multiple_copies_when_read_late(self):
+        plan, schedule = _vadd_plan()
+        iv = Reg("i")
+        # The store reads i late in the schedule while increments keep
+        # coming every ii cycles: several values must be live at once.
+        assert plan.q[iv] >= 2
+
+    def test_q_never_below_one(self):
+        plan, _ = _vadd_plan()
+        assert all(q >= 1 for q in plan.q.values())
+
+    def test_copy_rotation_def_vs_use(self):
+        plan, _ = _vadd_plan()
+        iv = Reg("i")
+        n = plan.copies[iv]
+        # iteration j writes copy j mod n and its own uses (omega=1)
+        # read copy (j-1) mod n.
+        assert plan.copy_for_def(iv, 5) == 5 % n
+        use_node = next(
+            node for (node, reg) in plan.use_omega if reg == iv
+        )
+        assert plan.copy_for_use(use_node, iv, 5) == (5 - 1) % n
+
+
+class TestUnrollPolicies:
+    def test_min_unroll_is_max_q(self):
+        plan, _ = _vadd_plan(MIN_UNROLL)
+        assert plan.unroll == max(plan.q.values())
+
+    def test_min_registers_is_lcm(self):
+        plan, _ = _vadd_plan(MIN_REGISTERS)
+        expected = 1
+        for q in plan.q.values():
+            expected = math.lcm(expected, q)
+        assert plan.unroll == expected
+        assert plan.copies == plan.q
+
+    def test_min_unroll_copies_divide_unroll(self):
+        plan, _ = _vadd_plan(MIN_UNROLL)
+        for copies in plan.copies.values():
+            assert plan.unroll % copies == 0
+
+    def test_min_unroll_copies_at_least_q(self):
+        plan, _ = _vadd_plan(MIN_UNROLL)
+        for reg, copies in plan.copies.items():
+            assert copies >= plan.q[reg]
+
+    def test_unknown_policy_rejected(self):
+        _, schedule = _vadd_plan()
+        with pytest.raises(ValueError):
+            plan_expansion(schedule, [], "maximal-confusion")
+
+
+class TestFactorRounding:
+    @pytest.mark.parametrize(
+        "u,q,expected",
+        [(6, 1, 1), (6, 2, 2), (6, 3, 3), (6, 4, 6), (6, 5, 6),
+         (12, 5, 6), (7, 2, 7), (8, 3, 4), (1, 1, 1)],
+    )
+    def test_smallest_factor_at_least(self, u, q, expected):
+        assert _smallest_factor_at_least(u, q) == expected

@@ -1,0 +1,179 @@
+"""Longest-path machinery: concrete Floyd-Warshall, recurrence bound,
+symbolic Pareto closure (including a randomized cross-check)."""
+
+import random
+
+import pytest
+
+from repro.deps.graph import DepGraph, DepNode
+from repro.deps.paths import (
+    NEG_INF,
+    CyclicDependenceError,
+    SymbolicPaths,
+    longest_paths,
+    minimum_initiation_interval_for_cycles,
+)
+from repro.ir import Opcode, Operation
+from repro.machine.resources import ReservationTable
+
+
+def _nodes(count):
+    return [
+        DepNode(i, ReservationTable.single("alu"), Operation(Opcode.NOP))
+        for i in range(count)
+    ]
+
+
+class _E:
+    """Lightweight stand-in matching the DepEdge attributes paths.py uses."""
+
+    def __init__(self, src, dst, delay, omega):
+        self.src, self.dst, self.delay, self.omega = src, dst, delay, omega
+
+
+class TestLongestPaths:
+    def test_simple_chain(self):
+        nodes = _nodes(3)
+        edges = [_E(nodes[0], nodes[1], 4, 0), _E(nodes[1], nodes[2], 7, 0)]
+        dist = longest_paths(nodes, edges, s=1)
+        assert dist[0][2] == 11
+        assert dist[2][0] == NEG_INF
+
+    def test_takes_longest_not_shortest(self):
+        nodes = _nodes(3)
+        edges = [
+            _E(nodes[0], nodes[1], 1, 0),
+            _E(nodes[1], nodes[2], 1, 0),
+            _E(nodes[0], nodes[2], 10, 0),
+        ]
+        dist = longest_paths(nodes, edges, s=1)
+        assert dist[0][2] == 10
+
+    def test_omega_scales_with_s(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 10, 2)]
+        assert longest_paths(nodes, edges, 3)[0][1] == 4
+        assert longest_paths(nodes, edges, 5)[0][1] == 0
+
+    def test_positive_cycle_detected(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 5, 0), _E(nodes[1], nodes[0], 5, 1)]
+        assert longest_paths(nodes, edges, 9) is None   # 10 - 9 > 0
+        assert longest_paths(nodes, edges, 10) is not None
+
+    def test_diagonal_holds_cycle_length(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 3, 0), _E(nodes[1], nodes[0], 3, 1)]
+        dist = longest_paths(nodes, edges, 10)
+        assert dist[0][0] == -4  # 6 - 10
+
+
+class TestRecurrenceBound:
+    def test_single_cycle(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 7, 0), _E(nodes[1], nodes[0], 1, 1)]
+        assert minimum_initiation_interval_for_cycles(nodes, edges) == 8
+
+    def test_ratio_rounds_up(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 7, 0), _E(nodes[1], nodes[0], 0, 2)]
+        assert minimum_initiation_interval_for_cycles(nodes, edges) == 4
+
+    def test_max_over_cycles(self):
+        nodes = _nodes(3)
+        edges = [
+            _E(nodes[0], nodes[1], 3, 0), _E(nodes[1], nodes[0], 0, 1),
+            _E(nodes[1], nodes[2], 9, 0), _E(nodes[2], nodes[1], 0, 1),
+        ]
+        assert minimum_initiation_interval_for_cycles(nodes, edges) == 9
+
+    def test_self_edge(self):
+        nodes = _nodes(1)
+        edges = [_E(nodes[0], nodes[0], 5, 1)]
+        assert minimum_initiation_interval_for_cycles(nodes, edges) == 5
+
+    def test_acyclic_is_zero(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 5, 0)]
+        assert minimum_initiation_interval_for_cycles(nodes, edges) == 0
+
+    def test_illegal_zero_omega_cycle_raises(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 1, 0), _E(nodes[1], nodes[0], 1, 0)]
+        with pytest.raises(CyclicDependenceError):
+            minimum_initiation_interval_for_cycles(nodes, edges)
+
+
+class TestSymbolicPaths:
+    def test_matches_concrete_on_simple_recurrence(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 7, 0), _E(nodes[1], nodes[0], 1, 1)]
+        s_min = minimum_initiation_interval_for_cycles(nodes, edges)
+        symbolic = SymbolicPaths(nodes, edges, s_min)
+        for s in range(s_min, s_min + 6):
+            concrete = longest_paths(nodes, edges, s)
+            for i in range(2):
+                for j in range(2):
+                    assert symbolic.evaluate(nodes[i], nodes[j], s) == \
+                        concrete[i][j]
+
+    def test_below_validity_bound_rejected(self):
+        nodes = _nodes(2)
+        edges = [_E(nodes[0], nodes[1], 7, 0), _E(nodes[1], nodes[0], 1, 1)]
+        symbolic = SymbolicPaths(nodes, edges, s_min=8)
+        with pytest.raises(ValueError):
+            symbolic.evaluate(nodes[0], nodes[1], 7)
+
+    def test_frontier_keeps_incomparable_pairs(self):
+        nodes = _nodes(2)
+        # Two paths: (d=10, p=1) wins for small s; (d=2, p=0) wins for
+        # large s.  Both must survive pruning.
+        edges = [
+            _E(nodes[0], nodes[1], 10, 1),
+            _E(nodes[0], nodes[1], 2, 0),
+        ]
+        symbolic = SymbolicPaths(nodes, edges, s_min=1)
+        assert len(symbolic.frontier(nodes[0], nodes[1])) == 2
+        assert symbolic.evaluate(nodes[0], nodes[1], 1) == 9
+        assert symbolic.evaluate(nodes[0], nodes[1], 20) == 2
+
+    def test_dominated_pair_pruned(self):
+        nodes = _nodes(2)
+        edges = [
+            _E(nodes[0], nodes[1], 10, 1),
+            _E(nodes[0], nodes[1], 2, 1),  # strictly worse
+        ]
+        symbolic = SymbolicPaths(nodes, edges, s_min=1)
+        assert symbolic.frontier(nodes[0], nodes[1]) == ((10, 1),)
+
+    def test_randomised_cross_check_against_concrete(self):
+        rng = random.Random(7)
+        for trial in range(30):
+            count = rng.randrange(2, 7)
+            nodes = _nodes(count)
+            edges = []
+            # A ring guarantees strong connectivity (like a real SCC).
+            for i in range(count):
+                edges.append(
+                    _E(nodes[i], nodes[(i + 1) % count],
+                       rng.randrange(0, 8), 1 if (i + 1) % count == 0 else 0)
+                )
+            for _ in range(rng.randrange(0, 2 * count)):
+                a, b = rng.randrange(count), rng.randrange(count)
+                edges.append(
+                    _E(nodes[a], nodes[b], rng.randrange(-3, 9),
+                       rng.randrange(0, 3))
+                )
+            try:
+                s_min = minimum_initiation_interval_for_cycles(nodes, edges)
+            except CyclicDependenceError:
+                continue
+            s_min = max(1, s_min)
+            symbolic = SymbolicPaths(nodes, edges, s_min)
+            for s in (s_min, s_min + 1, s_min + 3, s_min + 10):
+                concrete = longest_paths(nodes, edges, s)
+                assert concrete is not None
+                for i in range(count):
+                    for j in range(count):
+                        assert symbolic.evaluate(nodes[i], nodes[j], s) == \
+                            concrete[i][j], (trial, s, i, j)

@@ -1,0 +1,254 @@
+"""Simulator semantics: latencies, store visibility, predication,
+validation against the interpreter."""
+
+import pytest
+
+from repro.core.compile import CompilerPolicy, compile_program
+from repro.core.emit import (
+    BlockRegion,
+    CodeObject,
+    SequentialLoopRegion,
+    SlotOp,
+    TripSpec,
+    WideInstruction,
+)
+from repro.ir import FLOAT, Imm, Opcode, Operation, Program, ProgramBuilder, Reg
+from repro.machine import WARP
+from repro.simulator import SimulationError, VLIWSimulator, run_and_check, run_code
+from conftest import build_conditional, build_vadd
+
+
+def _program_with_array(name="out", size=8):
+    program = Program("t")
+    program.declare(name, size)
+    return program
+
+
+def _run(regions, program=None):
+    code = CodeObject(program or _program_with_array(), WARP, regions)
+    simulator = VLIWSimulator(code)
+    stats = simulator.run()
+    return simulator, stats
+
+
+def _instr(*ops):
+    return WideInstruction([SlotOp(op) for op in ops])
+
+
+class TestLatencySemantics:
+    def test_result_not_visible_before_latency(self):
+        x = Reg("R0")
+        y = Reg("R1")
+        # y seeded to 1 (mov, latency 1).  At cycle 1, an add redefines y
+        # while a parallel mov reads it: the mov must see the OLD value.
+        regions = [
+            BlockRegion(
+                [
+                    _instr(Operation(Opcode.MOV, y, (Imm(1),))),
+                    _instr(
+                        Operation(Opcode.ADD, y, (Imm(2), Imm(3))),
+                        Operation(Opcode.MOV, x, (y,)),
+                    ),
+                ]
+            )
+        ]
+        simulator, _ = _run(regions)
+        assert simulator.regs[x] == 1
+        assert simulator.regs[y] == 5  # committed by drain
+
+    def test_result_visible_exactly_at_latency(self):
+        x = Reg("R0", FLOAT)
+        y = Reg("R1", FLOAT)
+        instrs = [_instr(Operation(Opcode.FADD, y, (Imm(2.0), Imm(3.0))))]
+        instrs.extend(_instr() for _ in range(6))  # cycles 1..6
+        instrs.append(_instr(Operation(Opcode.FMOV, x, (y,))))  # cycle 7
+        simulator, _ = _run([BlockRegion(instrs)])
+        assert simulator.regs[x] == 5.0
+
+    def test_store_visible_one_cycle_later(self):
+        x = Reg("R0", FLOAT)
+        regions = [
+            BlockRegion(
+                [
+                    _instr(
+                        Operation(Opcode.STORE, None, (Imm(0), Imm(9.0)),
+                                  array="out"),
+                        Operation(Opcode.LOAD, x, (Imm(0),), array="out"),
+                    ),
+                ]
+            )
+        ]
+        simulator, _ = _run(regions)
+        # The load in the same cycle sees the old memory value.
+        assert simulator.regs[x] != 9.0
+        assert simulator.memory[("out", 0)] == 9.0
+
+    def test_load_after_store_sees_new_value(self):
+        x = Reg("R0", FLOAT)
+        regions = [
+            BlockRegion(
+                [
+                    _instr(Operation(Opcode.STORE, None, (Imm(0), Imm(9.0)),
+                                     array="out")),
+                    _instr(Operation(Opcode.LOAD, x, (Imm(0),), array="out")),
+                ]
+            )
+        ]
+        simulator, _ = _run(regions)
+        assert simulator.regs[x] == 9.0
+
+
+class TestControl:
+    def test_sequential_loop_pass_count(self):
+        counter = Reg("R0")
+        regions = [
+            BlockRegion([_instr(Operation(Opcode.MOV, counter, (Imm(0),)))]),
+            SequentialLoopRegion(
+                [BlockRegion([_instr(
+                    Operation(Opcode.ADD, counter, (counter, Imm(1)))
+                )])],
+                passes=5,
+            ),
+        ]
+        simulator, _ = _run(regions)
+        assert simulator.regs[counter] == 5
+
+    def test_dynamic_trip_from_register(self):
+        counter = Reg("R0")
+        n = Reg("R1")
+        regions = [
+            BlockRegion([
+                _instr(Operation(Opcode.MOV, counter, (Imm(0),))),
+                _instr(Operation(Opcode.MOV, n, (Imm(2),))),
+            ]),
+            SequentialLoopRegion(
+                [BlockRegion([_instr(
+                    Operation(Opcode.ADD, counter, (counter, Imm(1)))
+                )])],
+                passes=TripSpec(Imm(0), n),
+            ),
+        ]
+        simulator, _ = _run(regions)
+        assert simulator.regs[counter] == 3
+
+    def test_undefined_register_raises(self):
+        regions = [
+            BlockRegion([_instr(
+                Operation(Opcode.FMOV, Reg("R0", FLOAT), (Reg("R9", FLOAT),))
+            )])
+        ]
+        with pytest.raises(SimulationError, match="undefined register"):
+            _run(regions)
+
+    def test_out_of_bounds_raises(self):
+        regions = [
+            BlockRegion([_instr(
+                Operation(Opcode.STORE, None, (Imm(99), Imm(1.0)), array="out")
+            )])
+        ]
+        with pytest.raises(SimulationError, match="out of bounds"):
+            _run(regions)
+
+    def test_max_cycles_guard(self):
+        regions = [
+            SequentialLoopRegion(
+                [BlockRegion([_instr(Operation(Opcode.NOP))])], passes=1000
+            )
+        ]
+        code = CodeObject(_program_with_array(), WARP, regions)
+        simulator = VLIWSimulator(code, max_cycles=10)
+        with pytest.raises(SimulationError, match="exceeded"):
+            simulator.run()
+
+
+class TestPredication:
+    def test_predicate_before_dispatch_raises(self):
+        op = Operation(Opcode.FMOV, Reg("R0", FLOAT), (Imm(1.0),))
+        regions = [
+            BlockRegion([WideInstruction([SlotOp(op, preds=((7, "then"),))])])
+        ]
+        with pytest.raises(SimulationError, match="dispatch"):
+            _run(regions)
+
+    def test_cbr_steers_predicated_slots(self):
+        cond = Reg("R0")
+        x = Reg("R1", FLOAT)
+        cbr = SlotOp(Operation(Opcode.CBR, srcs=(cond,)), cbr_uid=1)
+        then_slot = SlotOp(
+            Operation(Opcode.FMOV, x, (Imm(1.0),)), preds=((1, "then"),)
+        )
+        else_slot = SlotOp(
+            Operation(Opcode.FMOV, x, (Imm(2.0),)), preds=((1, "else"),)
+        )
+        regions = [
+            BlockRegion([
+                _instr(Operation(Opcode.MOV, cond, (Imm(0),))),
+                _instr(),
+                WideInstruction([cbr]),
+                WideInstruction([then_slot, else_slot]),
+            ])
+        ]
+        simulator, _ = _run(regions)
+        assert simulator.regs[x] == 2.0
+
+    def test_stats_count_only_executed_slots(self):
+        _, stats = _run_conditional_stats(always_true=True)
+        _, stats_false = _run_conditional_stats(always_true=False)
+        # Different arms execute different flop counts.
+        assert stats.flops != stats_false.flops
+
+
+def _run_conditional_stats(always_true):
+    pb = ProgramBuilder("p")
+    pb.array("a", 32)
+    with pb.loop("i", 0, 9) as body:
+        x = body.load("a", body.var)
+        cond = body.fgt(x, -10.0 if always_true else 10.0)
+        with body.if_(cond) as (then, other):
+            then.store("a", then.var, then.fadd(then.fmul(x, 2.0), 1.0))
+            other.store("a", other.var, x)
+    compiled = compile_program(pb.finish(), WARP)
+    stats = run_and_check(compiled.code)
+    return compiled, stats
+
+
+class TestEndToEndValidation:
+    def test_run_and_check_passes_on_correct_code(self):
+        compiled = compile_program(build_vadd(50), WARP)
+        run_and_check(compiled.code)
+
+    def test_run_and_check_detects_wrong_memory(self):
+        compiled = compile_program(build_vadd(50), WARP)
+        # Sabotage: flip an immediate in some store-feeding fadd.
+        from repro.core.emit import PipelinedLoopRegion
+
+        def regions(rs):
+            for r in rs:
+                yield r
+                if isinstance(r, SequentialLoopRegion):
+                    yield from regions(r.body)
+
+        for region in regions(compiled.code.regions):
+            if isinstance(region, PipelinedLoopRegion):
+                for instr in region.kernel:
+                    for i, slot in enumerate(instr.slots):
+                        if slot.op.opcode is Opcode.FADD:
+                            bad = slot.op.with_operands(
+                                slot.op.dest, (slot.op.srcs[0], Imm(99.0))
+                            )
+                            instr.slots[i] = SlotOp(
+                                bad, slot.iteration, slot.preds, slot.cbr_uid
+                            )
+        with pytest.raises(SimulationError, match="differs"):
+            run_and_check(compiled.code)
+
+    def test_stats_cycle_and_flop_counts(self):
+        compiled = compile_program(build_vadd(100), WARP)
+        stats = run_and_check(compiled.code)
+        assert stats.flops == 100
+        assert stats.loads == 100
+        assert stats.stores == 100
+        assert stats.cycles > 0
+        assert stats.mflops == pytest.approx(
+            100 / (stats.cycles * 200e-9) / 1e6
+        )

@@ -1,0 +1,249 @@
+"""IR verifier and common-subexpression elimination."""
+
+import pytest
+
+from repro.ir import (
+    FLOAT,
+    INT,
+    ForLoop,
+    IfStmt,
+    Imm,
+    Opcode,
+    Operation,
+    Program,
+    ProgramBuilder,
+    Reg,
+    run_program,
+    verify_program,
+)
+from repro.ir.cse import eliminate_common_subexpressions
+from repro.ir.scan import collect_defs, collect_reads, walk_operations
+from repro.ir.verify import IRError
+
+
+def _count_ops(program):
+    return sum(1 for _ in walk_operations(program.body))
+
+
+class TestVerifier:
+    def test_valid_program_passes(self):
+        pb = ProgramBuilder("ok")
+        pb.array("a", 8)
+        with pb.loop("i", 0, 3) as body:
+            body.store("a", body.var, body.fadd(body.load("a", body.var), 1.0))
+        verify_program(pb.finish())
+
+    def test_undefined_register_read(self):
+        program = Program("bad")
+        program.declare("a", 4)
+        program.body.append(
+            Operation(Opcode.STORE, None, (Imm(0), Reg("ghost", FLOAT)), array="a")
+        )
+        with pytest.raises(IRError, match="undefined register"):
+            verify_program(program)
+
+    def test_register_defined_on_one_arm_only_is_not_definite(self):
+        program = Program("bad")
+        program.declare("a", 4)
+        cond = Reg("c", INT)
+        program.body.append(Operation(Opcode.MOV, cond, (Imm(1),)))
+        x = Reg("x", FLOAT)
+        program.body.append(
+            IfStmt(cond, [Operation(Opcode.FMOV, x, (Imm(1.0),))], [])
+        )
+        program.body.append(
+            Operation(Opcode.STORE, None, (Imm(0), x), array="a")
+        )
+        with pytest.raises(IRError, match="undefined register"):
+            verify_program(program)
+
+    def test_register_defined_on_both_arms_is_definite(self):
+        program = Program("ok")
+        program.declare("a", 4)
+        cond = Reg("c", INT)
+        x = Reg("x", FLOAT)
+        program.body.append(Operation(Opcode.MOV, cond, (Imm(1),)))
+        program.body.append(
+            IfStmt(
+                cond,
+                [Operation(Opcode.FMOV, x, (Imm(1.0),))],
+                [Operation(Opcode.FMOV, x, (Imm(2.0),))],
+            )
+        )
+        program.body.append(Operation(Opcode.STORE, None, (Imm(0), x), array="a"))
+        verify_program(program)
+
+    def test_undeclared_array(self):
+        program = Program("bad")
+        program.body.append(
+            Operation(Opcode.LOAD, Reg("x", FLOAT), (Imm(0),), array="nope")
+        )
+        with pytest.raises(IRError, match="undeclared array"):
+            verify_program(program)
+
+    def test_float_index_rejected(self):
+        program = Program("bad")
+        program.declare("a", 4)
+        program.body.append(
+            Operation(Opcode.LOAD, Reg("x", FLOAT), (Imm(1.5),), array="a")
+        )
+        with pytest.raises(IRError, match="must be an integer"):
+            verify_program(program)
+
+    def test_kind_mismatch_on_load(self):
+        program = Program("bad")
+        program.declare("a", 4)  # float array
+        program.body.append(
+            Operation(Opcode.LOAD, Reg("x", INT), (Imm(0),), array="a")
+        )
+        with pytest.raises(IRError, match="load of float array"):
+            verify_program(program)
+
+    def test_float_sources_required_for_fadd(self):
+        program = Program("bad")
+        x = Reg("x", FLOAT)
+        program.body.append(Operation(Opcode.FADD, x, (Imm(1), Imm(2))))
+        with pytest.raises(IRError, match="must be a float"):
+            verify_program(program)
+
+    def test_control_opcode_rejected_in_ir(self):
+        program = Program("bad")
+        program.body.append(Operation(Opcode.CJUMP, target="L"))
+        with pytest.raises(IRError, match="control opcode"):
+            verify_program(program)
+
+    def test_non_integer_loop_bound(self):
+        program = Program("bad")
+        program.body.append(ForLoop(Reg("i"), Imm(0), Imm(3), []))
+        program.body[0].stop = Imm(2.5)
+        with pytest.raises(IRError):
+            verify_program(program)
+
+    def test_float_if_condition_rejected(self):
+        program = Program("bad")
+        x = Reg("x", FLOAT)
+        program.body.append(Operation(Opcode.FMOV, x, (Imm(0.0),)))
+        program.body.append(IfStmt(x, [], []))
+        with pytest.raises(IRError, match="must be an integer"):
+            verify_program(program)
+
+
+class TestScan:
+    def test_collect_reads_includes_bounds_and_conditions(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        n = pb.mov(3)
+        with pb.loop("i", 0, n) as body:
+            cond = body.gt(body.var, 1)
+            with body.if_(cond) as (then, _):
+                then.store("a", then.var, 1.0)
+        reads = collect_reads(pb.finish().body)
+        assert n in reads
+        assert cond in reads
+
+    def test_collect_defs_includes_loop_vars(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        with pb.loop("i", 0, 3) as body:
+            body.store("a", body.var, 1.0)
+        defs = collect_defs(pb.finish().body)
+        assert Reg("i", INT) in defs
+
+
+class TestCse:
+    def _double_index_program(self):
+        """c[ci+j] := c[ci+j] + 1 recomputes ci+j for the store."""
+        pb = ProgramBuilder("p")
+        pb.array("c", 64)
+        ci = pb.mov(8)
+        with pb.loop("j", 0, 7) as body:
+            idx1 = body.add(ci, body.var)
+            x = body.load("c", idx1)
+            idx2 = body.add(ci, body.var)
+            body.store("c", idx2, body.fadd(x, 1.0))
+        return pb.finish()
+
+    def test_removes_duplicate_address_computation(self):
+        program = self._double_index_program()
+        before = _count_ops(program)
+        optimized = eliminate_common_subexpressions(program)
+        assert _count_ops(optimized) == before - 1
+
+    def test_preserves_semantics(self):
+        program = self._double_index_program()
+        optimized = eliminate_common_subexpressions(program)
+        assert run_program(program) == run_program(optimized)
+
+    def test_redefinition_invalidates(self):
+        pb = ProgramBuilder("p")
+        pb.array("out", 4)
+        a = pb.mov(1)
+        x1 = pb.add(a, 2)        # a + 2
+        pb.mov(10, dest=a)       # redefine a
+        x2 = pb.add(a, 2)        # must NOT reuse x1
+        pb.store("out", 0, pb.i2f(pb.add(x1, x2)))
+        program = pb.finish()
+        optimized = eliminate_common_subexpressions(program)
+        assert _count_ops(optimized) == _count_ops(program)
+        assert run_program(optimized)[("out", 0)] == 15.0
+
+    def test_stale_substitution_cleared_on_redefinition(self):
+        pb = ProgramBuilder("p")
+        pb.array("out", 4)
+        a = pb.mov(1)
+        t1 = pb.add(a, 2)     # canonical
+        t2 = pb.add(a, 2)     # CSE'd to t1
+        pb.mov(100, dest=t1)  # t1 redefined: t2 must not read new t1
+        pb.store("out", 0, pb.i2f(t2))
+        program = pb.finish()
+        optimized = eliminate_common_subexpressions(program)
+        assert run_program(optimized)[("out", 0)] == run_program(program)[("out", 0)]
+
+    def test_no_cse_across_loop_boundary(self):
+        pb = ProgramBuilder("p")
+        pb.array("out", 8)
+        a = pb.mov(1)
+        pb.add(a, 2)
+        with pb.loop("i", 0, 3) as body:
+            body.store("out", body.var, body.i2f(body.add(a, 2)))
+        program = pb.finish()
+        optimized = eliminate_common_subexpressions(program)
+        # The in-loop add survives (tables do not flow into loops).
+        loop = optimized.body[-1]
+        assert any(
+            isinstance(s, Operation) and s.opcode is Opcode.ADD
+            for s in loop.body
+        )
+        assert run_program(optimized) == run_program(program)
+
+    def test_loads_never_merged(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        pb.array("out", 8)
+        x = pb.load("a", 0)
+        pb.store("a", 0, 9.0)
+        y = pb.load("a", 0)
+        pb.store("out", 0, x)
+        pb.store("out", 1, y)
+        program = pb.finish()
+        optimized = eliminate_common_subexpressions(program)
+        memory = run_program(optimized)
+        assert memory[("out", 1)] == 9.0
+        assert memory[("out", 0)] != 9.0 or run_program(program)[("out", 0)] == 9.0
+
+    def test_cse_inside_if_arms_is_local(self):
+        pb = ProgramBuilder("p")
+        pb.array("out", 4)
+        c = pb.mov(1)
+        a = pb.mov(5)
+        with pb.if_(c) as (then, other):
+            t1 = then.add(a, 1)
+            t2 = then.add(a, 1)
+            then.store("out", 0, then.i2f(then.add(t1, t2)))
+            other.store("out", 0, 0.0)
+        program = pb.finish()
+        optimized = eliminate_common_subexpressions(program)
+        assert run_program(optimized) == run_program(program)
+        then_ops = optimized.body[-1].then_body
+        adds = [s for s in then_ops if s.opcode is Opcode.ADD]
+        assert len(adds) == 2  # one of the three adds removed
