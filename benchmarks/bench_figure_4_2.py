@@ -5,26 +5,31 @@ reduction) against compacting individual basic blocks only, over the same
 72-program sample: "The average factor of increase in speed is three" and
 "programs containing conditional statements are sped up more" (the
 conditionals break the computation into small basic blocks, making motion
-across them matter more).
+across them matter more).  Both compilations run through the parallel
+batch driver.
 """
 
 import statistics
 
-from harness import report_table, text_histogram
+from harness import BATCH_JOBS, report_table, suite_slice, text_histogram
 
-from repro import CompilerPolicy, WARP, compile_source
+from repro import CompilerPolicy, WARP, compile_many
 from repro.simulator import run_and_check
-from repro.workloads import generate_suite
 
 
 def _run_suite():
+    programs = suite_slice()
+    fast_batch = compile_many(programs, WARP, jobs=BATCH_JOBS)
+    slow_batch = compile_many(
+        programs, WARP, CompilerPolicy(pipeline=False), jobs=BATCH_JOBS
+    )
+    assert not fast_batch.errors and not slow_batch.errors
     results = []
-    baseline_policy = CompilerPolicy(pipeline=False)
-    for program in generate_suite():
-        fast = run_and_check(compile_source(program.source, WARP).code)
-        slow = run_and_check(
-            compile_source(program.source, WARP, baseline_policy).code
-        )
+    for program, fast_result, slow_result in zip(
+        programs, fast_batch, slow_batch
+    ):
+        fast = run_and_check(fast_result.compiled.code)
+        slow = run_and_check(slow_result.compiled.code)
         results.append((program, slow.cycles / fast.cycles))
     return results
 
@@ -40,18 +45,23 @@ def test_figure_4_2(benchmark):
     lines.append(
         f"mean speedup: {statistics.mean(speedups):.2f}x (paper: ~3x)"
     )
-    lines.append(
-        f"mean, programs with conditionals   : {statistics.mean(with_cond):.2f}x"
-    )
-    lines.append(
-        f"mean, programs without conditionals: {statistics.mean(without_cond):.2f}x"
-    )
+    if with_cond:
+        lines.append(
+            f"mean, programs with conditionals   :"
+            f" {statistics.mean(with_cond):.2f}x"
+        )
+    if without_cond:
+        lines.append(
+            f"mean, programs without conditionals:"
+            f" {statistics.mean(without_cond):.2f}x"
+        )
     lines.append(
         "(paper: conditional programs are sped up more)"
     )
 
     assert all(s >= 0.95 for s in speedups), "pipelining must never hurt"
-    assert statistics.mean(speedups) > 1.8
+    if len(results) == 72:
+        assert statistics.mean(speedups) > 1.8
     report_table(
         "E3_figure_4_2",
         "E3: Figure 4-2 — speedup over locally compacted code (72 programs)",

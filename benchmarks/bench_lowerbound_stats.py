@@ -9,20 +9,23 @@ is greater than the lower bound, the average efficiency is 75%."
 
 import statistics
 
-from harness import report_table
+from harness import BATCH_JOBS, report_table
 
-from repro import WARP, compile_source
+from repro import WARP, compile_many
 from repro.workloads import LIVERMORE_KERNELS, USER_PROGRAMS, generate_suite
 
 
 def _all_loop_reports():
+    sources = [
+        *generate_suite(),
+        *LIVERMORE_KERNELS.values(),
+        *USER_PROGRAMS.values(),
+    ]
+    batch = compile_many(sources, WARP, jobs=BATCH_JOBS)
+    assert not batch.errors, [str(e) for e in batch.errors]
     reports = []
-    for program in generate_suite():
-        reports.extend(compile_source(program.source, WARP).loops)
-    for kernel in LIVERMORE_KERNELS.values():
-        reports.extend(compile_source(kernel.source, WARP).loops)
-    for user in USER_PROGRAMS.values():
-        reports.extend(compile_source(user.source, WARP).loops)
+    for result in batch:
+        reports.extend(result.compiled.loops)
     return reports
 
 

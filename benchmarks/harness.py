@@ -9,10 +9,24 @@ of the reproduction and the reproduced numbers themselves.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _TABLES: list[tuple[str, str]] = []
+
+#: Worker count for benchmarks that batch-compile whole suites.
+BATCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4") or 4)
+
+
+def suite_slice():
+    """The 72-program suite, or the first ``REPRO_SUITE_SLICE`` programs
+    when that variable is set (the CI smoke pass runs a 12-program slice)."""
+    from repro.workloads import generate_suite
+
+    programs = generate_suite()
+    limit = int(os.environ.get("REPRO_SUITE_SLICE", "0") or 0)
+    return programs[:limit] if limit else programs
 
 
 def report_table(name: str, title: str, lines: list[str]) -> str:

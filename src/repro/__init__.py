@@ -20,6 +20,15 @@ from repro.core.compile import (
     LoopReport,
     compile_program,
 )
+from repro.batch import (
+    BatchReport,
+    CompileError,
+    CompileResult,
+    ScheduleCache,
+    compile_many,
+    compile_one,
+)
+from repro.obs import CompileObserver, observe
 
 __version__ = "1.0.0"
 
@@ -57,4 +66,12 @@ __all__ = [
     "LoopReport",
     "compile_program",
     "compile_source",
+    "BatchReport",
+    "CompileError",
+    "CompileObserver",
+    "CompileResult",
+    "ScheduleCache",
+    "compile_many",
+    "compile_one",
+    "observe",
 ]

@@ -1,23 +1,34 @@
-"""Command-line driver: compile, inspect, and run W2-like programs.
+"""Command-line driver: compile, inspect, run, and batch-compile programs.
 
 Usage::
 
-    python -m repro compile program.w2 [--machine warp|simple] [--no-pipeline]
+    python -m repro compile program.w2 [--machine warp|simple] [--stats]
     python -m repro run program.w2 [--machine ...]     # simulate + validate
     python -m repro disasm program.w2                  # full code listing
     python -m repro ir program.w2                      # lowered IR
+    python -m repro suite [--jobs 4] [--cache-dir .repro_cache] [--stats]
+
+``--stats`` dumps the observability layer's JSON breakdown: per-phase
+wall-clock timings (dependence build, MII bounds, each II attempt, MVE,
+emission), counters (II attempts, SCCs, backtracks), and per-loop
+achieved-II vs. MII gaps.  ``suite`` compiles the 72-program synthetic
+suite through the parallel batch driver; with ``--cache-dir`` a rerun is a
+hash lookup per program.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro import SIMPLE, WARP, CompilerPolicy, compile_source
+from repro import SIMPLE, WARP, CompilerPolicy
+from repro.batch import ScheduleCache, compile_many, compile_one
 from repro.core.display import disassemble
 from repro.frontend import parse_program
 from repro.ir import format_program
 from repro.simulator import run_and_check
+from repro.workloads import generate_suite
 
 MACHINES = {"warp": WARP, "simple": SIMPLE}
 
@@ -30,40 +41,101 @@ def _policy(args: argparse.Namespace) -> CompilerPolicy:
     )
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Software pipelining for VLIW machines (Lam, PLDI 1988)",
     )
-    parser.add_argument(
-        "command", choices=["compile", "run", "disasm", "ir"],
-        help="what to do with the program",
-    )
-    parser.add_argument("source", help="W2-like source file ('-' for stdin)")
-    parser.add_argument(
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
         "--machine", choices=sorted(MACHINES), default="warp",
         help="target machine description (default: warp)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--no-pipeline", action="store_true",
         help="disable software pipelining (locally compacted baseline)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--no-cse", action="store_true",
         help="disable local common-subexpression elimination",
     )
-    parser.add_argument(
+    common.add_argument(
         "--search", choices=["linear", "binary"], default="linear",
         help="initiation-interval search strategy",
     )
-    args = parser.parse_args(argv)
+    stats = argparse.ArgumentParser(add_help=False)
+    stats.add_argument(
+        "--stats", action="store_true",
+        help="dump the compiler's JSON phase/counter breakdown",
+    )
+    stats.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the on-disk schedule cache rooted at DIR",
+    )
 
+    sub = parser.add_subparsers(dest="command", required=True)
+    source_cmds = {
+        "compile": "compile and print the loop report",
+        "run": "compile, simulate, and validate against the interpreter",
+        "disasm": "compile and print the full code listing",
+        "ir": "print the lowered IR",
+    }
+    for command, help_text in source_cmds.items():
+        parents = [common, stats] if command in ("compile", "run") else [common]
+        cmd = sub.add_parser(command, parents=parents, help=help_text)
+        cmd.add_argument(
+            "source", help="W2-like source file ('-' for stdin)"
+        )
+
+    suite = sub.add_parser(
+        "suite", parents=[common, stats],
+        help="batch-compile the 72-program synthetic suite",
+    )
+    suite.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for the batch driver (default: 1)",
+    )
+    suite.add_argument(
+        "--count", type=int, default=72, metavar="N",
+        help="compile only the first N suite programs",
+    )
+    return parser
+
+
+def _read_source(args: argparse.Namespace) -> str:
     if args.source == "-":
-        text = sys.stdin.read()
-    else:
-        with open(args.source) as handle:
-            text = handle.read()
+        return sys.stdin.read()
+    with open(args.source) as handle:
+        return handle.read()
 
+
+def _run_suite(args: argparse.Namespace) -> int:
+    machine = MACHINES[args.machine]
+    cache = ScheduleCache(args.cache_dir) if args.cache_dir else None
+    programs = generate_suite()[: args.count]
+    report = compile_many(
+        programs, machine, _policy(args),
+        jobs=args.jobs, cache=cache, collect_stats=args.stats,
+    )
+    print(report.summary())
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if args.stats:
+        print(json.dumps(report.to_dict(), indent=2))
+    return 1 if report.errors else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "suite":
+        return _run_suite(args)
+
+    try:
+        text = _read_source(args)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     machine = MACHINES[args.machine]
 
     if args.command == "ir":
@@ -74,9 +146,27 @@ def main(argv: list[str] | None = None) -> int:
                   f"{', '.join(sorted(pragmas.independent_arrays))}")
         return 0
 
-    compiled = compile_source(text, machine, _policy(args))
+    cache = (
+        ScheduleCache(args.cache_dir)
+        if getattr(args, "cache_dir", None)
+        else None
+    )
+    collect_stats = bool(getattr(args, "stats", False))
+    result = compile_one(
+        args.source, text, machine, _policy(args),
+        cache=cache, collect_stats=collect_stats,
+    )
+    if result.error is not None:
+        print(f"error: {result.error}", file=sys.stderr)
+        return 1
+    compiled = result.compiled
+
     if args.command == "compile":
         print(compiled.report())
+        if result.from_cache:
+            print("(served from the schedule cache)")
+        if args.stats:
+            print(json.dumps(result.stats, indent=2))
         return 0
     if args.command == "disasm":
         print(disassemble(compiled.code))
@@ -91,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
           f" {stats.mflops:.2f} MFLOPS")
     print(f"ops {stats.operations}, loads {stats.loads},"
           f" stores {stats.stores}, branches {stats.branches}")
+    if args.stats:
+        print(json.dumps(result.stats, indent=2))
     print("result validated against the sequential interpreter")
     return 0
 

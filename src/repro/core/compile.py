@@ -48,7 +48,11 @@ from repro.core.emit import (
 from repro.core.listsched import list_schedule_block
 from repro.core.mve import MIN_UNROLL, ExpansionPlan, plan_expansion
 from repro.core.pipeliner import ModuloScheduler, PipelinerPolicy
-from repro.core.reduction import _reduce_stmt, build_reduced_loop_graph
+from repro.core.reduction import (
+    _reduce_stmt,
+    build_reduced_loop_graph,
+    fresh_uid_scope,
+)
 from repro.core.schedule import BlockSchedule, SchedulingFailure
 from repro.deps.build import DependenceOptions, connect_block_edges
 from repro.deps.graph import DepGraph
@@ -59,6 +63,7 @@ from repro.ir.scan import collect_reads
 from repro.ir.stmts import ForLoop, IfStmt, Program, Stmt
 from repro.ir.verify import verify_program
 from repro.machine.description import MachineDescription
+from repro.obs import trace as obs
 
 
 @dataclass(frozen=True)
@@ -158,9 +163,11 @@ class _Compiler:
         machine: MachineDescription,
         policy: CompilerPolicy,
     ) -> None:
-        verify_program(program)
+        with obs.phase("verify"):
+            verify_program(program)
         if policy.cse:
-            program = eliminate_common_subexpressions(program)
+            with obs.phase("cse"):
+                program = eliminate_common_subexpressions(program)
         self.program = program
         self.machine = machine
         self.policy = policy
@@ -257,13 +264,17 @@ class _Compiler:
     def _emit_segment(self, stmts: list[Stmt]) -> Region:
         """Scalar code between loops: hierarchical reduction plus list
         scheduling, the same machinery as inside loops."""
-        graph = DepGraph()
-        for index, stmt in enumerate(stmts):
-            graph.add_node(
-                _reduce_stmt(stmt, self.machine, index, self.policy.serialize_ifs)
-            )
-        connect_block_edges(graph)
-        schedule = list_schedule_block(graph, self.machine)
+        with obs.phase("deps"):
+            graph = DepGraph()
+            for index, stmt in enumerate(stmts):
+                graph.add_node(
+                    _reduce_stmt(
+                        stmt, self.machine, index, self.policy.serialize_ifs
+                    )
+                )
+            connect_block_edges(graph)
+        with obs.phase("listsched"):
+            schedule = list_schedule_block(graph, self.machine)
         return BlockRegion(
             emit_block(schedule, self.scalar_renamer), "segment"
         )
@@ -302,19 +313,22 @@ class _Compiler:
         options = DependenceOptions(
             independent_arrays=self.policy.independent_arrays
         )
-        lg = build_reduced_loop_graph(
-            loop, self.machine, options,
-            serialize_ifs=self.policy.serialize_ifs,
-            expand=self.policy.pipeline,
-        )
-        # The unpipelined copy shares no registers with rotated copies, so
-        # it is scheduled from a graph that keeps all anti/output edges.
-        lg_block = build_reduced_loop_graph(
-            loop, self.machine, options,
-            serialize_ifs=self.policy.serialize_ifs,
-            expand=False,
-        )
-        block = list_schedule_block(lg_block.graph, self.machine)
+        with obs.phase("deps", loop=label):
+            lg = build_reduced_loop_graph(
+                loop, self.machine, options,
+                serialize_ifs=self.policy.serialize_ifs,
+                expand=self.policy.pipeline,
+            )
+            # The unpipelined copy shares no registers with rotated copies,
+            # so it is scheduled from a graph that keeps all anti/output
+            # edges.
+            lg_block = build_reduced_loop_graph(
+                loop, self.machine, options,
+                serialize_ifs=self.policy.serialize_ifs,
+                expand=False,
+            )
+        with obs.phase("listsched", loop=label):
+            block = list_schedule_block(lg_block.graph, self.machine)
         unpip_len = max(block.completion_length, 1)
         trip = loop.trip_count
 
@@ -329,9 +343,27 @@ class _Compiler:
 
         regions = self._try_pipeline(loop, lg, block, trip, report, label)
         if regions is None:
-            regions = self._emit_fallback(loop, block, trip, report, label)
+            with obs.phase("emit", loop=label):
+                regions = self._emit_fallback(loop, block, trip, report, label)
         report.total_size = sum(region_size(r) for r in regions)
         self.loops.append(report)
+        obs.count("loops")
+        if report.pipelined:
+            obs.count("loops_pipelined")
+            if report.ii == report.mii:
+                obs.count("loops_at_mii")
+        obs.record_loop(
+            label=report.label,
+            pipelined=report.pipelined,
+            ii=report.ii,
+            mii=report.mii,
+            ii_gap=(report.ii - report.mii) if report.pipelined else None,
+            attempts=list(report.attempts),
+            unroll=report.unroll,
+            stage_count=report.stage_count,
+            unpipelined_length=report.unpipelined_length,
+            reason=report.reason,
+        )
         return regions
 
     def _try_pipeline(
@@ -384,9 +416,10 @@ class _Compiler:
             )
             return None
 
-        plan = plan_expansion(
-            schedule, lg.options.expanded_regs, policy.mve_policy
-        )
+        with obs.phase("mve", loop=label):
+            plan = plan_expansion(
+                schedule, lg.options.expanded_regs, policy.mve_policy
+            )
         k = schedule.stage_count - 1
         u = plan.unroll
         if trip is not None and trip < k + u:
@@ -398,36 +431,10 @@ class _Compiler:
 
         snapshot = dict(self.alloc._map)
         try:
-            if trip is not None:
-                peel = (trip - k) % u
-                passes = (trip - k - peel) // u
-                regions = self._emit_pipelined(
-                    loop, plan, schedule, block, peel, passes, label
+            with obs.phase("emit", loop=label):
+                regions = self._emit_pipelined_variants(
+                    loop, plan, schedule, block, trip, report, label, k, u
                 )
-            else:
-                # Trip count known only at run time: the paper's two-version
-                # scheme (section 2.4).  If n < k + u the unpipelined copy
-                # runs all n iterations; otherwise the unpipelined copy runs
-                # the (n - k) mod u leftover iterations and the pipelined
-                # loop takes the rest.
-                peel = 0
-                trip_spec = TripSpec(
-                    self._operand(loop.start), self._operand(loop.stop),
-                    loop.step,
-                )
-                main = self._emit_pipelined(
-                    loop, plan, schedule, block,
-                    PeelCount(trip_spec, k, u),
-                    PipelinePasses(trip_spec, k, u),
-                    label,
-                )
-                fallback = self._emit_unpipelined_regions(
-                    loop, block, trip_spec, label
-                )
-                regions = [
-                    GuardedRegion(trip_spec, k + u, main, fallback, label)
-                ]
-                report.two_version = True
         except RegisterPressureError as pressure:
             self.alloc._map = snapshot
             report.reason = str(pressure)
@@ -437,8 +444,52 @@ class _Compiler:
         report.ii = schedule.ii
         report.unroll = u
         report.stage_count = schedule.stage_count
-        report.peeled = peel
         report.kernel_size = u * schedule.ii
+        return regions
+
+    def _emit_pipelined_variants(
+        self,
+        loop: ForLoop,
+        plan: ExpansionPlan,
+        schedule,
+        block: BlockSchedule,
+        trip: Optional[int],
+        report: LoopReport,
+        label: str,
+        k: int,
+        u: int,
+    ) -> list[Region]:
+        if trip is not None:
+            peel = (trip - k) % u
+            passes = (trip - k - peel) // u
+            regions = self._emit_pipelined(
+                loop, plan, schedule, block, peel, passes, label
+            )
+            report.peeled = peel
+        else:
+            # Trip count known only at run time: the paper's two-version
+            # scheme (section 2.4).  If n < k + u the unpipelined copy
+            # runs all n iterations; otherwise the unpipelined copy runs
+            # the (n - k) mod u leftover iterations and the pipelined
+            # loop takes the rest.
+            trip_spec = TripSpec(
+                self._operand(loop.start), self._operand(loop.stop),
+                loop.step,
+            )
+            main = self._emit_pipelined(
+                loop, plan, schedule, block,
+                PeelCount(trip_spec, k, u),
+                PipelinePasses(trip_spec, k, u),
+                label,
+            )
+            fallback = self._emit_unpipelined_regions(
+                loop, block, trip_spec, label
+            )
+            regions = [
+                GuardedRegion(trip_spec, k + u, main, fallback, label)
+            ]
+            report.two_version = True
+            report.peeled = 0
         return regions
 
     def _emit_pipelined(
@@ -594,5 +645,13 @@ def compile_program(
     machine: MachineDescription,
     policy: CompilerPolicy = CompilerPolicy(),
 ) -> CompiledProgram:
-    """Compile a structured IR program to VLIW code for ``machine``."""
-    return _Compiler(program, machine, policy).compile()
+    """Compile a structured IR program to VLIW code for ``machine``.
+
+    Compilation is deterministic: the same (program, machine, policy)
+    triple always produces byte-identical code, regardless of process
+    history or of other compilations running concurrently (conditional
+    uids are numbered per compilation, see
+    :func:`repro.core.reduction.fresh_uid_scope`).
+    """
+    with fresh_uid_scope():
+        return _Compiler(program, machine, policy).compile()

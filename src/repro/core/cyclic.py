@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.mrt import ModuloReservationTable
+from repro.obs import trace as obs
 from repro.deps.graph import DepEdge, DepNode
 from repro.deps.paths import NEG_INF, SymbolicPaths
 from repro.machine.description import MachineDescription
@@ -82,6 +83,7 @@ def schedule_component(
         if not scheduled:
             time = mrt.earliest_fit(node.reservation, 0)
             if time is None:
+                obs.count("scc_placement_failures")
                 return None
         else:
             low: float = NEG_INF
@@ -96,15 +98,18 @@ def schedule_component(
             if low == NEG_INF:
                 low = 0
             if low > high:
+                obs.count("scc_empty_ranges")
                 return None
             latest = None if high == math.inf else int(high)
             time = mrt.earliest_fit(node.reservation, int(low), latest)
             if time is None:
+                obs.count("scc_placement_failures")
                 return None
         mrt.place(node.reservation, time)
         times[node.index] = time
         scheduled.append(node)
 
+    obs.count("scc_schedules")
     base = min(times.values())
     offsets = {index: time - base for index, time in times.items()}
     reservation = ReservationTable()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.obs import trace as obs
 from repro.core.acyclic import ItemEdge, SchedItem, modulo_schedule_dag
 from repro.core.cyclic import Cluster, schedule_component
 from repro.core.mii import MiiReport, compute_mii
@@ -90,16 +91,21 @@ class ModuloScheduler:
         Raises :class:`SchedulingFailure` if none is found below the cap.
         """
         extra = {self.policy.branch_resource: 1} if self.policy.reserve_branch else None
-        mii = compute_mii(graph, self.machine, extra)
-        components = condensation_order(graph)
-        prepared = self._prepare_components(graph, components)
+        with obs.phase("mii"):
+            mii = compute_mii(graph, self.machine, extra)
+            components = condensation_order(graph)
+            prepared = self._prepare_components(graph, components)
+        obs.count("sccs", sum(1 for _, paths in prepared if paths is not None))
         max_ii = self.policy.max_ii or self._default_cap(graph)
 
         attempts: list[int] = []
         if self.policy.search == "linear":
             for s in range(mii.mii, max_ii + 1):
                 attempts.append(s)
-                result = self._try_interval(graph, prepared, s, mii, attempts)
+                obs.count("ii_attempts")
+                with obs.phase("ii_attempt", ii=s) as meta:
+                    result = self._try_interval(graph, prepared, s, mii, attempts)
+                    meta["schedulable"] = result is not None
                 if result is not None:
                     return result
         else:
@@ -179,6 +185,7 @@ class ModuloScheduler:
             else:
                 cluster = schedule_component(component, paths, s, self.machine)
                 if cluster is None:
+                    obs.count("backtracks")
                     return None
                 items.append(
                     SchedItem(item_index, cluster.reservation, cluster.span)
@@ -207,6 +214,7 @@ class ModuloScheduler:
             mrt.place(branch, s - 1)
         item_times = modulo_schedule_dag(items, item_edges, mrt)
         if item_times is None:
+            obs.count("backtracks")
             return None
 
         times: dict[int, int] = {}
@@ -234,7 +242,10 @@ class ModuloScheduler:
         while lo <= hi:
             mid = (lo + hi) // 2
             attempts.append(mid)
-            result = self._try_interval(graph, prepared, mid, mii, attempts)
+            obs.count("ii_attempts")
+            with obs.phase("ii_attempt", ii=mid) as meta:
+                result = self._try_interval(graph, prepared, mid, mii, attempts)
+                meta["schedulable"] = result is not None
             if result is not None:
                 best = result
                 hi = mid - 1

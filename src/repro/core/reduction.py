@@ -24,9 +24,11 @@ the price of a larger initiation interval for conditional loops.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.core.listsched import list_schedule_block
 from repro.core.schedule import BlockSchedule
@@ -44,7 +46,35 @@ from repro.ir.stmts import ForLoop, IfStmt, Stmt
 from repro.machine.description import MachineDescription
 from repro.machine.resources import ReservationTable
 
+# Reduced-IF uids only need to be unique within one compiled program (the
+# simulator keys recorded branch outcomes on (uid, iteration)).  They are
+# drawn from a per-compilation scope installed by
+# :func:`repro.core.compile.compile_program`, so compiling the same program
+# always numbers its conditionals identically — byte-identical output
+# regardless of process history or of other compilations running in
+# parallel threads.  The module-global counter is only the fallback for
+# direct calls outside any compilation scope (unit tests, exploration).
 _uid_counter = itertools.count(1)
+_UID_SCOPE: contextvars.ContextVar[Optional["itertools.count"]] = (
+    contextvars.ContextVar("reduction_uid_scope", default=None)
+)
+
+
+def _next_uid() -> int:
+    scope = _UID_SCOPE.get()
+    if scope is None:
+        return next(_uid_counter)
+    return next(scope)
+
+
+@contextmanager
+def fresh_uid_scope() -> Iterator[None]:
+    """Number reduced conditionals from 1 for the enclosed compilation."""
+    token = _UID_SCOPE.set(itertools.count(1))
+    try:
+        yield
+    finally:
+        _UID_SCOPE.reset(token)
 
 
 @dataclass
@@ -154,7 +184,7 @@ def reduce_if(
     )
     payload = ReducedIf(
         stmt=stmt,
-        uid=next(_uid_counter),
+        uid=_next_uid(),
         cond=stmt.cond,
         then_nodes=then_nodes,
         else_nodes=else_nodes,

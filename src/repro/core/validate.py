@@ -45,6 +45,62 @@ def check_kernel_schedule(
             )
 
 
+def check_flat_schedule(
+    schedule: KernelSchedule,
+    *,
+    iterations: int | None = None,
+    reserved_branch: str | None = "seq",
+) -> None:
+    """Validate the *flat* (unrolled-in-time) expansion of a modulo
+    schedule: iteration ``i`` issues each node at ``i * ii + sigma(node)``.
+
+    :func:`check_kernel_schedule` proves the steady state correct; this
+    check additionally covers the pipeline ramp-up and drain that become
+    the emitted prolog and epilog.  Every loop-carried dependence is
+    checked between the concrete iteration instances it connects
+    (``t(dst, i + omega) - t(src, i) >= delay``), and resource usage is
+    summed per absolute cycle across all in-flight iterations — including
+    the partial overlaps at both ends that the modulo row sums average
+    away.
+
+    ``iterations`` defaults to enough iterations to exhibit a full
+    steady-state window plus both ramps.
+    """
+    graph, s = schedule.graph, schedule.ii
+    if iterations is None:
+        iterations = schedule.stage_count + 2
+    if iterations < 1 or not schedule.times:
+        return
+
+    def flat(node_index: int, iteration: int) -> int:
+        return iteration * s + schedule.times[node_index]
+
+    for edge in graph.edges:
+        for i in range(iterations - edge.omega):
+            lhs = flat(edge.dst.index, i + edge.omega) - flat(edge.src.index, i)
+            if lhs < edge.delay:
+                raise ScheduleViolation(
+                    f"flat precedence violated at iteration {i}: {edge!r}"
+                    f" needs >= {edge.delay}, got {lhs}"
+                )
+
+    usage: dict[tuple[int, str], int] = defaultdict(int)
+    for i in range(iterations):
+        if reserved_branch is not None:
+            usage[(i * s + s - 1, reserved_branch)] += 1
+        for node in graph.nodes:
+            time = flat(node.index, i)
+            for offset, resource, amount in node.reservation:
+                usage[(time + offset, resource)] += amount
+    for (cycle, resource), amount in sorted(usage.items()):
+        limit = schedule.machine.units(resource)
+        if amount > limit:
+            raise ScheduleViolation(
+                f"flat cycle {cycle} oversubscribes {resource!r}:"
+                f" {amount} > {limit}"
+            )
+
+
 def check_block_schedule(schedule: BlockSchedule) -> None:
     """Raise :class:`ScheduleViolation` on any broken same-iteration
     constraint or absolute resource overflow."""

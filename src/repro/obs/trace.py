@@ -1,0 +1,147 @@
+"""The observer object and the ambient-installation machinery.
+
+An observer is installed per compilation (or per batch worker) through a
+:mod:`contextvars` context variable, so parallel compilations in different
+threads each see their own observer and never contend on shared state.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+_CURRENT: contextvars.ContextVar[Optional["CompileObserver"]] = (
+    contextvars.ContextVar("repro_observer", default=None)
+)
+
+
+@dataclass
+class TraceEvent:
+    """One timed span in the structured trace.
+
+    ``at`` is seconds since the observer was created; ``meta`` carries
+    phase-specific detail (e.g. the candidate II of one attempt and whether
+    it was schedulable).
+    """
+
+    name: str
+    at: float
+    seconds: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "name": self.name,
+            "at": round(self.at, 6),
+            "seconds": round(self.seconds, 6),
+        }
+        if self.meta:
+            entry.update(self.meta)
+        return entry
+
+
+class CompileObserver:
+    """Collects phase timings, counters, and per-loop scheduling summaries."""
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self._start = self._clock()
+        self.events: list[TraceEvent] = []
+        self.phase_seconds: dict[str, float] = {}
+        self.phase_calls: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+        self.loops: list[dict[str, Any]] = []
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str, **meta: Any) -> Iterator[dict[str, Any]]:
+        """Time a span; the yielded dict may be mutated to enrich the
+        trace entry (e.g. marking an II attempt as schedulable)."""
+        t0 = self._clock()
+        try:
+            yield meta
+        finally:
+            dt = self._clock() - t0
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + dt
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+            self.events.append(TraceEvent(name, t0 - self._start, dt, meta))
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_loop(self, **fields: Any) -> None:
+        self.loops.append(fields)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._clock() - self._start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "phases": {
+                name: {
+                    "seconds": round(self.phase_seconds[name], 6),
+                    "calls": self.phase_calls[name],
+                }
+                for name in sorted(self.phase_seconds)
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "loops": list(self.loops),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# -- ambient installation ------------------------------------------------------
+
+
+def current() -> Optional[CompileObserver]:
+    """The observer installed in this context, or ``None``."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def observe(
+    observer: Optional[CompileObserver] = None,
+) -> Iterator[CompileObserver]:
+    """Install ``observer`` (a fresh one by default) for the dynamic extent
+    of the ``with`` block and yield it."""
+    obs = observer if observer is not None else CompileObserver()
+    token = _CURRENT.set(obs)
+    try:
+        yield obs
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def phase(name: str, **meta: Any) -> Iterator[dict[str, Any]]:
+    """Time a span against the ambient observer; no-op without one."""
+    obs = _CURRENT.get()
+    if obs is None:
+        yield meta
+    else:
+        with obs.phase(name, **meta) as entry:
+            yield entry
+
+
+def count(name: str, amount: int = 1) -> None:
+    obs = _CURRENT.get()
+    if obs is not None:
+        obs.count(name, amount)
+
+
+def record_loop(**fields: Any) -> None:
+    obs = _CURRENT.get()
+    if obs is not None:
+        obs.record_loop(**fields)

@@ -1,0 +1,187 @@
+"""The flat-schedule validator: prolog/epilog coverage of modulo schedules.
+
+:func:`check_kernel_schedule` proves the steady state; the flat check
+(`check_flat_schedule`) expands a window of concrete iterations at
+``i * ii + sigma`` and re-checks every precedence edge between the
+instances it actually connects, plus absolute per-cycle resource usage
+through the ramp-up and drain.  Valid schedules must always pass;
+deliberately corrupted ones must always raise :class:`ScheduleViolation`.
+"""
+
+import pytest
+
+from repro.core.pipeliner import ModuloScheduler
+from repro.core.reduction import build_reduced_loop_graph
+from repro.core.validate import (
+    ScheduleViolation,
+    check_flat_schedule,
+    check_kernel_schedule,
+)
+from repro.ir import ProgramBuilder
+from repro.machine import SIMPLE, WARP
+
+from conftest import build_conditional, build_dot, build_vadd
+
+
+def _vadd_schedule(machine=WARP):
+    pb = ProgramBuilder("vadd")
+    pb.array("a", 256)
+    with pb.loop("i", 0, 99) as body:
+        x = body.load("a", body.var)
+        body.store("a", body.var, body.fadd(x, 1.5))
+    loop = pb.finish().body[-1]
+    lg = build_reduced_loop_graph(loop, machine)
+    return ModuloScheduler(machine).schedule(lg.graph).schedule
+
+
+def _recurrence_schedule(machine=WARP):
+    pb = ProgramBuilder("acc")
+    pb.array("a", 256)
+    s = pb.fmov(0.0)
+    with pb.loop("i", 0, 99) as body:
+        body.fadd(s, body.load("a", body.var), dest=s)
+    loop = pb.finish().body[-1]
+    lg = build_reduced_loop_graph(loop, machine)
+    return ModuloScheduler(machine).schedule(lg.graph).schedule
+
+
+class TestValidSchedulesPass:
+    @pytest.mark.parametrize("machine", [WARP, SIMPLE], ids=["warp", "simple"])
+    def test_vadd(self, machine):
+        schedule = _vadd_schedule(machine)
+        check_kernel_schedule(schedule)
+        check_flat_schedule(schedule)
+
+    @pytest.mark.parametrize("machine", [WARP, SIMPLE], ids=["warp", "simple"])
+    def test_recurrence(self, machine):
+        schedule = _recurrence_schedule(machine)
+        check_kernel_schedule(schedule)
+        check_flat_schedule(schedule)
+
+    def test_conditional_reduced_loop(self):
+        loop = build_conditional().body[-1]
+        lg = build_reduced_loop_graph(loop, WARP)
+        schedule = ModuloScheduler(WARP).schedule(lg.graph).schedule
+        check_flat_schedule(schedule)
+
+    def test_long_window(self):
+        # A much longer window than the default must stay clean too: the
+        # steady state repeats, so violations cannot appear later.
+        schedule = _vadd_schedule()
+        check_flat_schedule(schedule, iterations=25)
+
+    def test_zero_iterations_is_trivially_valid(self):
+        schedule = _vadd_schedule()
+        check_flat_schedule(schedule, iterations=0)
+
+
+class TestCorruptedSchedulesFail:
+    def test_shifted_op_breaks_same_iteration_precedence(self):
+        # Pull a dependent op back onto its producer's cycle: the flat
+        # expansion sees t(dst, i) - t(src, i) < delay in iteration 0.
+        schedule = _vadd_schedule()
+        edge = next(
+            e for e in schedule.graph.edges if e.omega == 0 and e.delay > 1
+        )
+        schedule.times[edge.dst.index] = schedule.times[edge.src.index]
+        with pytest.raises(ScheduleViolation, match="precedence"):
+            check_flat_schedule(schedule)
+
+    def test_shifted_op_breaks_loop_carried_precedence(self):
+        # A recurrence edge (omega >= 1) constrains *successive* instances;
+        # delaying the source by one full II erases exactly the slack the
+        # modulo schedule promised the next iteration.
+        schedule = _recurrence_schedule()
+        # Self-edges (the accumulator's own recurrence) shift with their
+        # node and can never be violated by retiming; pick a cross edge.
+        edge = next(
+            e for e in schedule.graph.edges
+            if e.omega >= 1 and e.src.index != e.dst.index
+        )
+        # Place the source so instance pair (i, i + omega) has exactly one
+        # cycle too little slack: t(dst, omega) - t(src, 0) == delay - 1.
+        schedule.times[edge.src.index] = (
+            schedule.times[edge.dst.index]
+            + edge.omega * schedule.ii
+            - edge.delay
+            + 1
+        )
+        with pytest.raises(ScheduleViolation):
+            check_flat_schedule(schedule)
+
+    def test_oversubscribed_resource(self):
+        # vadd's load and store are WARP's only two mem ops and mem has a
+        # single unit; forcing them onto one cycle doubles its usage.  The
+        # same corruption must also trip the steady-state modulo check.
+        schedule = _vadd_schedule()
+        nodes = [
+            n for n in schedule.graph.nodes
+            if any(res == "mem" for _, res, _ in n.reservation)
+        ]
+        assert len(nodes) >= 2
+        first, second = nodes[:2]
+        # Break ties away from precedence: move the *later* op earlier
+        # could trip precedence first, so instead move the earlier op onto
+        # the later op's cycle (a pure resource clash for vadd's
+        # load -> store chain is impossible without precedence damage, so
+        # match on the resource message explicitly).
+        schedule.times[first.index] = schedule.times[second.index]
+        with pytest.raises(ScheduleViolation):
+            check_flat_schedule(schedule)
+        corrupted = schedule
+        try:
+            check_flat_schedule(corrupted, reserved_branch=None)
+        except ScheduleViolation:
+            pass
+        else:  # pragma: no cover - corruption must never go unnoticed
+            pytest.fail("oversubscription escaped the flat validator")
+
+    def test_pure_resource_clash_reports_resource(self):
+        # Two *independent* loads (no edge between them) moved onto the
+        # same cycle: precedence stays intact, so the failure must come
+        # from the per-cycle resource sums and name the resource.
+        pb = ProgramBuilder("loads")
+        pb.array("a", 256)
+        pb.array("b", 256)
+        with pb.loop("i", 0, 99) as body:
+            x = body.load("a", body.var)
+            y = body.load("b", body.var)
+            body.store("a", body.var, body.fadd(x, y))
+        loop = pb.finish().body[-1]
+        lg = build_reduced_loop_graph(loop, WARP)
+        schedule = ModuloScheduler(WARP).schedule(lg.graph).schedule
+        loads = [
+            n for n in schedule.graph.nodes
+            if any(res == "mem" for _, res, _ in n.reservation)
+            and not n.defs == ()
+        ]
+        independent = None
+        edges = {
+            (e.src.index, e.dst.index) for e in schedule.graph.edges
+        }
+        for a in loads:
+            for b in loads:
+                if a.index == b.index:
+                    continue
+                if (a.index, b.index) in edges or (b.index, a.index) in edges:
+                    continue
+                independent = (a, b)
+                break
+            if independent:
+                break
+        assert independent is not None, "expected two independent mem ops"
+        a, b = independent
+        schedule.times[a.index] = schedule.times[b.index]
+        with pytest.raises(ScheduleViolation, match="mem"):
+            check_flat_schedule(schedule)
+
+    def test_branch_slot_is_accounted(self):
+        # The loop branch claims one unit of the branch resource at cycle
+        # ii-1 of every iteration.  vadd at ii=2 has a mem op on both
+        # modulo rows, so pretending the branch issues on 'mem' must clash
+        # while the real 'seq' reservation (and none at all) stay clean.
+        schedule = _vadd_schedule()
+        check_flat_schedule(schedule, reserved_branch="seq")
+        check_flat_schedule(schedule, reserved_branch=None)
+        with pytest.raises(ScheduleViolation, match="mem"):
+            check_flat_schedule(schedule, reserved_branch="mem")
