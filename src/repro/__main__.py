@@ -7,13 +7,18 @@ Usage::
     python -m repro disasm program.w2                  # full code listing
     python -m repro ir program.w2                      # lowered IR
     python -m repro suite [--jobs 4] [--cache-dir .repro_cache] [--stats]
+    python -m repro fuzz [--seed 1988] [--count 200] [--graphs 50] [--stats]
 
 ``--stats`` dumps the observability layer's JSON breakdown: per-phase
 wall-clock timings (dependence build, MII bounds, each II attempt, MVE,
 emission), counters (II attempts, SCCs, backtracks), and per-loop
 achieved-II vs. MII gaps.  ``suite`` compiles the 72-program synthetic
 suite through the parallel batch driver; with ``--cache-dir`` a rerun is a
-hash lookup per program.
+hash lookup per program.  ``fuzz`` runs the randomized invariant-audit
+campaign of :mod:`repro.audit`: seeded random programs through
+compile->simulate differential testing plus per-loop schedule-oracle
+audits, and seeded random dependence graphs straight through the modulo
+scheduler; any failure prints the single-case seed that reproduces it.
 """
 
 from __future__ import annotations
@@ -99,6 +104,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--count", type=int, default=72, metavar="N",
         help="compile only the first N suite programs",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz", parents=[common],
+        help="run the randomized scheduler-invariant audit campaign",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=1988, metavar="N",
+        help="master seed; case i uses seed N+i (default: 1988)",
+    )
+    fuzz.add_argument(
+        "--count", type=int, default=100, metavar="K",
+        help="number of random program cases (default: 100)",
+    )
+    fuzz.add_argument(
+        "--graphs", type=int, default=None, metavar="M",
+        help="number of random dependence-graph cases (default: count/4)",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for the campaign (default: 1)",
+    )
+    fuzz.add_argument(
+        "--stats", action="store_true",
+        help="dump the campaign's JSON violation/counter breakdown",
+    )
     return parser
 
 
@@ -125,11 +155,37 @@ def _run_suite(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.audit import run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        graphs=args.graphs,
+        jobs=args.jobs,
+        machine=MACHINES[args.machine],
+        policy=_policy(args),
+    )
+    print(report.summary())
+    for result in report.failures:
+        print(f"\nFAIL {result.case.name}  (repro: {result.case.repro_command()})",
+              file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        if result.error:
+            print(f"  crash:\n{result.error}", file=sys.stderr)
+    if args.stats:
+        print(json.dumps(report.to_dict(), indent=2))
+    return 1 if report.failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "suite":
         return _run_suite(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     try:
         text = _read_source(args)

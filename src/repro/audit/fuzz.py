@@ -1,0 +1,213 @@
+"""The fuzzing campaign driver behind ``python -m repro fuzz``.
+
+A campaign derives one case per seed offset from the master seed, runs
+them through :func:`repro.batch.run_many` (``jobs`` at a time, each case
+fault-isolated and carrying its own :class:`repro.obs.CompileObserver`),
+and aggregates the violation counters.  Program cases go through the full
+differential audit; graph cases drive the modulo scheduler directly on
+random dependence graphs and audit the resulting schedules.
+
+Any failing case prints the exact single-case command that reproduces it
+(``python -m repro fuzz --seed <case seed> --count 1 --graphs 0`` or
+``--count 0 --graphs 1``), which is also the workflow for growing the
+regression corpus under ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.audit.differential import audit_program
+from repro.audit.generate import (
+    GraphConfig,
+    ProgramConfig,
+    random_dep_graph,
+    random_program,
+)
+from repro.audit.oracle import Violation, audit_result
+from repro.batch.driver import run_many
+from repro.core.compile import CompilerPolicy
+from repro.core.pipeliner import ModuloScheduler
+from repro.core.schedule import SchedulingFailure
+from repro.machine import WARP
+from repro.machine.description import MachineDescription
+from repro.obs import trace as obs
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One unit of campaign work, reproducible from ``(kind, seed)``."""
+
+    kind: str   # "program" | "graph"
+    seed: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}{self.seed}"
+
+    def repro_command(self) -> str:
+        shape = "--count 1 --graphs 0" if self.kind == "program" \
+            else "--count 0 --graphs 1"
+        return f"python -m repro fuzz --seed {self.seed} {shape}"
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one case: violations found plus its observer counters."""
+
+    case: FuzzCase
+    violations: list[Violation] = field(default_factory=list)
+    error: Optional[str] = None
+    seconds: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.error is None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one campaign."""
+
+    seed: int
+    results: list[CaseResult]
+    jobs: int
+    wall_seconds: float
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def violations(self) -> list[Violation]:
+        return [v for r in self.results for v in r.violations]
+
+    @property
+    def counters(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for result in self.results:
+            for name, amount in result.counters.items():
+                totals[name] = totals.get(name, 0) + amount
+        return dict(sorted(totals.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        counters = self.counters
+        return {
+            "seed": self.seed,
+            "cases": len(self.results),
+            "programs": sum(1 for r in self.results if r.case.kind == "program"),
+            "graphs": sum(1 for r in self.results if r.case.kind == "graph"),
+            "failures": len(self.failures),
+            "violations": {
+                kind: sum(1 for v in self.violations if v.kind == kind)
+                for kind in sorted({v.kind for v in self.violations})
+            },
+            "counters": counters,
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+
+    def summary(self) -> str:
+        counters = self.counters
+        parts = [
+            f"fuzz seed={self.seed}: {len(self.results)} cases",
+            f"{len(self.violations)} violations",
+            f"{counters.get('audit_loops_scheduled', 0)} loop schedules audited",
+            f"{counters.get('audit_differential_runs', 0)} differential runs",
+            f"jobs={self.jobs}",
+            f"{self.wall_seconds:.1f} s",
+        ]
+        declines = counters.get("audit_scheduler_declines", 0)
+        if declines:
+            parts.insert(3, f"{declines} scheduler declines")
+        pressure = counters.get("audit_register_declines", 0)
+        if pressure:
+            parts.insert(3, f"{pressure} register-pressure declines")
+        return ", ".join(parts)
+
+
+def run_graph_case(
+    seed: int,
+    machine: MachineDescription,
+    config: GraphConfig = GraphConfig(),
+) -> list[Violation]:
+    """Schedule one random dependence graph and audit the result.
+
+    A :class:`SchedulingFailure` is a decline, not a violation: the
+    heuristic is allowed to give up, just never to emit a wrong schedule.
+    """
+    graph = random_dep_graph(seed, machine, config)
+    scheduler = ModuloScheduler(machine)
+    try:
+        result = scheduler.schedule(graph)
+    except SchedulingFailure:
+        obs.count("audit_scheduler_declines")
+        return []
+    obs.count("audit_loops_scheduled")
+    return audit_result(result)
+
+
+def run_case(
+    case: FuzzCase,
+    machine: MachineDescription = WARP,
+    policy: CompilerPolicy = CompilerPolicy(),
+    program_config: ProgramConfig = ProgramConfig(),
+    graph_config: GraphConfig = GraphConfig(),
+) -> CaseResult:
+    """Run one case with fault isolation and a private observer."""
+    t0 = time.perf_counter()
+    result = CaseResult(case=case)
+    with obs.observe() as observer:
+        try:
+            if case.kind == "program":
+                generated = random_program(case.seed, program_config)
+                result.violations = audit_program(
+                    generated.name, generated.source, machine, policy
+                )
+            else:
+                result.violations = run_graph_case(
+                    case.seed, machine, graph_config
+                )
+        except Exception:
+            result.error = traceback.format_exc(limit=6)
+        result.counters = dict(observer.counters)
+    result.seconds = time.perf_counter() - t0
+    return result
+
+
+def run_campaign(
+    seed: int = 1988,
+    count: int = 100,
+    *,
+    graphs: Optional[int] = None,
+    jobs: int = 1,
+    machine: MachineDescription = WARP,
+    policy: CompilerPolicy = CompilerPolicy(),
+    program_config: ProgramConfig = ProgramConfig(),
+    graph_config: GraphConfig = GraphConfig(),
+) -> FuzzReport:
+    """Run ``count`` program cases and ``graphs`` graph cases (default
+    ``count // 4``), derived from consecutive seeds so any single case is
+    reproducible with ``--seed <case seed> --count 1``."""
+    if graphs is None:
+        graphs = count // 4
+    cases = [FuzzCase("program", seed + i) for i in range(count)]
+    cases += [FuzzCase("graph", seed + i) for i in range(graphs)]
+    t0 = time.perf_counter()
+    results = run_many(
+        cases,
+        lambda case: run_case(
+            case, machine, policy, program_config, graph_config
+        ),
+        jobs=jobs,
+    )
+    return FuzzReport(
+        seed=seed,
+        results=results,
+        jobs=max(1, jobs),
+        wall_seconds=time.perf_counter() - t0,
+    )

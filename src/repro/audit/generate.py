@@ -1,0 +1,221 @@
+"""Seeded random generators of loop programs and dependence graphs.
+
+Two generation levels, both fully determined by an integer seed:
+
+* :func:`random_program` emits a W2-like source program — random
+  recurrences (accumulators and ``b[i+1] := f(b[i])`` chains), conditional
+  bodies, memory ops with varying offsets, runtime trip counts (forcing
+  the two-version scheme), and occasional nested loops — sized so every
+  array access is provably in bounds and no operation can divide by zero.
+  These cases exercise the whole stack: frontend, dependence analysis,
+  modulo scheduling, expansion, emission, and the simulator.
+
+* :func:`random_dep_graph` builds a raw :class:`~repro.deps.graph.DepGraph`
+  whose nodes draw real reservation patterns from the target machine and
+  whose edges are random but feasible by construction (zero-omega edges
+  only ever point forward in index order, so no zero-omega cycle exists;
+  back edges carry ``omega >= 1``).  The SCC-density knob controls how
+  many back edges tie nodes into components.  These cases hit the
+  scheduler's cyclic machinery far harder than structured programs can.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.deps.graph import DepGraph, DepNode
+from repro.ir.ops import Opcode, Operation
+from repro.machine.description import MachineDescription
+
+
+@dataclass(frozen=True)
+class ProgramConfig:
+    """Knobs for the loop-program generator."""
+
+    max_stmts: int = 4          # extra statements per loop body
+    max_depth: int = 3          # expression tree depth
+    max_loads: int = 4
+    p_conditional: float = 0.45
+    p_accumulator: float = 0.35
+    p_chain: float = 0.3
+    p_runtime_trip: float = 0.25
+    p_second_loop: float = 0.3
+    p_outer_loop: float = 0.1
+    margin: int = 8             # array slack beyond the trip count
+
+
+@dataclass(frozen=True)
+class GraphConfig:
+    """Knobs for the dependence-graph generator."""
+
+    min_nodes: int = 3
+    max_nodes: int = 9
+    p_forward_edge: float = 0.35   # zero-omega, index-increasing
+    scc_density: float = 0.25      # probability of an omega>=1 back edge
+    max_omega: int = 3
+    max_extra_delay: int = 2
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """One generated source case; ``seed`` alone reproduces it."""
+
+    name: str
+    seed: int
+    source: str
+
+
+def _expression(rng: random.Random, atoms: list[str], depth: int) -> str:
+    if depth <= 0 or rng.random() < 0.35:
+        if rng.random() < 0.75 and atoms:
+            return rng.choice(atoms)
+        return f"{rng.uniform(0.1, 3.0):.3f}"
+    roll = rng.random()
+    left = _expression(rng, atoms, depth - 1)
+    right = _expression(rng, atoms, depth - 1)
+    if roll < 0.1:
+        return f"abs({left})"
+    if roll < 0.25:
+        fn = rng.choice(["max", "min"])
+        return f"{fn}({left}, {right})"
+    op = rng.choice(["+", "-", "*", "*", "+"])
+    return f"({left} {op} {right})"
+
+
+def _loop_body(rng: random.Random, config: ProgramConfig, *,
+               trip_expr: str, acc: str) -> list[str]:
+    """One innermost loop's statements (body lines, already indented)."""
+    offsets = range(0, config.margin - 3)
+    loads = []
+    for _ in range(rng.randrange(1, config.max_loads + 1)):
+        array = rng.choice(["a", "b"])
+        offset = rng.choice(list(offsets))
+        suffix = f"+{offset}" if offset else ""
+        loads.append(f"{array}[i{suffix}]")
+    atoms = loads + ["u"]
+
+    body = [f"    c[i] := {_expression(rng, atoms, config.max_depth)};"]
+    if rng.random() < config.p_accumulator:
+        body.append(f"    {acc} := {acc} + {_expression(rng, atoms, 1)};")
+    if rng.random() < config.p_chain:
+        factor = rng.uniform(0.2, 0.8)
+        body.append(
+            f"    b[i+1] := b[i] * {factor:.3f} + {rng.choice(loads)};"
+        )
+    if rng.random() < config.p_conditional:
+        threshold = rng.uniform(-0.5, 0.5)
+        then_expr = _expression(rng, atoms, 1)
+        else_expr = _expression(rng, atoms, 1)
+        body.append(f"    if {rng.choice(loads)} > {threshold:.3f} then")
+        body.append(f"      a[i+{config.margin - 2}] := {then_expr}")
+        body.append("    else")
+        body.append(f"      a[i+{config.margin - 2}] := {else_expr};")
+    for extra in range(rng.randrange(0, config.max_stmts)):
+        target = rng.choice([f"c[i+{extra + 1}]", "u"])
+        body.append(
+            f"    {target} := {_expression(rng, atoms, config.max_depth)};"
+        )
+    return [f"  for i := 0 to {trip_expr} do begin"] + body + ["  end;"]
+
+
+def random_program(
+    seed: int, config: ProgramConfig = ProgramConfig()
+) -> FuzzProgram:
+    """A random but always-valid loop program, reproducible from ``seed``."""
+    rng = random.Random(seed)
+    trip = rng.randrange(3, 90)
+    size = trip + config.margin + 1
+    name = f"fuzz{seed}"
+    lines = [
+        f"program {name};",
+        f"var a: array[{size}] of float;",
+        f"    b: array[{size}] of float;",
+        f"    c: array[{size}] of float;",
+        "    s: float; u: float; n: int;",
+        "begin",
+        "  s := 0.0;",
+        f"  u := {rng.uniform(0.5, 2.0):.3f};",
+        f"  n := {trip};",
+    ]
+    runtime = rng.random() < config.p_runtime_trip
+    trip_expr = "n - 1" if runtime else f"{trip - 1}"
+    inner = _loop_body(rng, config, trip_expr=trip_expr, acc="s")
+    if rng.random() < config.p_outer_loop:
+        outer_trip = rng.randrange(2, 4)
+        lines.append(f"  for j := 1 to {outer_trip} do begin")
+        lines.extend("  " + line for line in inner)
+        lines.append("    u := u * 0.5 + 0.25;")
+        lines.append("  end;")
+    else:
+        lines.extend(inner)
+    if rng.random() < config.p_second_loop:
+        lines.append("  u := u + 0.125;")
+        lines.extend(_loop_body(rng, config, trip_expr=trip_expr, acc="u"))
+    lines.append("  c[0] := s + u;")
+    lines.append("end.")
+    return FuzzProgram(name=name, seed=seed, source="\n".join(lines))
+
+
+# -- dependence-graph generation ----------------------------------------------
+
+
+def _schedulable_classes(machine: MachineDescription) -> list[str]:
+    """Op classes usable as anonymous fuzz nodes: nonempty reservations."""
+    names = [
+        name for name, cls in sorted(machine.op_classes.items())
+        if cls.reservation
+    ]
+    return names or sorted(machine.op_classes)
+
+
+def random_dep_graph(
+    seed: int,
+    machine: MachineDescription,
+    config: GraphConfig = GraphConfig(),
+) -> DepGraph:
+    """A random dependence graph, feasible at some initiation interval.
+
+    Zero-omega edges are only generated from lower to higher index, so no
+    zero-iteration-difference cycle can arise; every backward or self edge
+    carries ``omega >= 1``.  Delays follow the flow-dependence shape
+    (source latency plus slack) with occasional negative anti-style
+    delays.
+    """
+    rng = random.Random(seed)
+    classes = _schedulable_classes(machine)
+    count = rng.randrange(config.min_nodes, config.max_nodes + 1)
+    graph = DepGraph()
+    latencies = []
+    for index in range(count):
+        cls = machine.op_classes[rng.choice(classes)]
+        graph.add_node(
+            DepNode(
+                index=index,
+                reservation=cls.reservation,
+                payload=Operation(Opcode.NOP),
+                label=f"fuzz_{cls.name}_{index}",
+            )
+        )
+        latencies.append(max(1, cls.latency))
+
+    nodes = graph.nodes
+    for i in range(count):
+        for j in range(i + 1, count):
+            if rng.random() < config.p_forward_edge:
+                delay = latencies[i] + rng.randrange(0, config.max_extra_delay + 1)
+                if rng.random() < 0.15:
+                    delay = -rng.randrange(1, 3)  # anti-style negative delay
+                graph.add_edge(nodes[i], nodes[j], delay, 0)
+            if rng.random() < config.scc_density:
+                omega = rng.randrange(1, config.max_omega + 1)
+                delay = latencies[j] + rng.randrange(0, config.max_extra_delay + 1)
+                graph.add_edge(nodes[j], nodes[i], delay, omega)
+    # A sprinkle of omega>=1 self-dependences (recurrence carriers).
+    for i in range(count):
+        if rng.random() < config.scc_density / 2:
+            graph.add_edge(
+                nodes[i], nodes[i], latencies[i],
+                rng.randrange(1, config.max_omega + 1),
+            )
+    return graph

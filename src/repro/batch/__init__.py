@@ -24,6 +24,7 @@ from repro.batch.driver import (
     CompileResult,
     compile_many,
     compile_one,
+    run_many,
 )
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "fingerprint_machine",
     "fingerprint_policy",
     "fingerprint_program",
+    "run_many",
 ]

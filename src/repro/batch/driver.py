@@ -31,6 +31,25 @@ from repro.obs import trace as obs
 SourceLike = Union[str, tuple, Any]
 
 
+def run_many(items: Sequence[Any], worker, *, jobs: int = 1) -> list[Any]:
+    """Generic worker-pool map with submission-order results.
+
+    The batch substrate shared by ``compile_many`` and the fuzzing
+    campaign: ``worker(item)`` runs for each item, ``jobs`` at a time, and
+    the result list aligns with the input order regardless of worker
+    scheduling.  Fault isolation is the worker's contract — a worker that
+    returns a structured error record instead of raising (like
+    :func:`compile_one` or the audit campaign's case runner) keeps one bad
+    item from taking down the batch.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(worker, item) for item in items]
+        return [future.result() for future in futures]
+
+
 @dataclass(frozen=True)
 class CompileError:
     """A structured record of one failed compilation."""
@@ -245,24 +264,15 @@ def compile_many(
     """
     items = _coerce_sources(sources)
     t0 = time.perf_counter()
-    if jobs <= 1 or len(items) <= 1:
-        results = [
-            compile_one(
-                name, text, machine, policy,
-                cache=cache, collect_stats=collect_stats,
-            )
-            for name, text in items
-        ]
-    else:
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(
-                    compile_one, name, text, machine, policy,
-                    cache=cache, collect_stats=collect_stats,
-                )
-                for name, text in items
-            ]
-            results = [future.result() for future in futures]
+
+    def worker(item: tuple[str, str]) -> CompileResult:
+        name, text = item
+        return compile_one(
+            name, text, machine, policy,
+            cache=cache, collect_stats=collect_stats,
+        )
+
+    results = run_many(items, worker, jobs=jobs)
     return BatchReport(
         results=results,
         jobs=max(1, jobs),

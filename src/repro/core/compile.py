@@ -95,6 +95,7 @@ class LoopReport:
     mii: Optional[int] = None
     resource_mii: Optional[int] = None
     recurrence_mii: Optional[int] = None
+    critical_resource: str = ""
     unpipelined_length: int = 0
     unroll: int = 1
     stage_count: int = 1
@@ -358,6 +359,7 @@ class _Compiler:
             ii=report.ii,
             mii=report.mii,
             ii_gap=(report.ii - report.mii) if report.pipelined else None,
+            critical_resource=report.critical_resource,
             attempts=list(report.attempts),
             unroll=report.unroll,
             stage_count=report.stage_count,
@@ -408,6 +410,7 @@ class _Compiler:
         report.mii = schedule.mii.mii
         report.resource_mii = schedule.mii.resource
         report.recurrence_mii = schedule.mii.recurrence
+        report.critical_resource = schedule.mii.critical_resource
         if schedule.ii >= policy.min_gain * report.unpipelined_length:
             report.reason = (
                 f"initiation interval {schedule.ii} within"

@@ -17,6 +17,7 @@ widen as the initiation interval grows.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -56,10 +57,41 @@ def _zero_omega_order(
 ) -> list[DepNode]:
     """Topological order of the intra-iteration edges within the component.
 
-    Zero-omega edges always increase the source index (see
-    :mod:`repro.deps.build`), so source order is such an ordering.
+    Graphs built by :mod:`repro.deps.build` happen to orient zero-omega
+    edges by increasing source index, but nothing in the scheduler's
+    contract guarantees that (reduced constructs and programmatically built
+    graphs are free to violate it), so the order is computed from the edges
+    themselves: a deterministic Kahn sort breaking ties by smallest index.
+    A zero-omega cycle admits no order (and no initiation interval) and
+    raises.
     """
-    return sorted(component, key=lambda node: node.index)
+    members = {node.index for node in component}
+    indegree = {index: 0 for index in members}
+    succs: dict[int, list[int]] = {index: [] for index in members}
+    for edge in edges:
+        if edge.omega != 0:
+            continue
+        src, dst = edge.src.index, edge.dst.index
+        if src in members and dst in members:
+            succs[src].append(dst)
+            indegree[dst] += 1
+    by_index = {node.index: node for node in component}
+    ready = sorted(index for index, count in indegree.items() if count == 0)
+    heapq.heapify(ready)
+    order: list[DepNode] = []
+    while ready:
+        index = heapq.heappop(ready)
+        order.append(by_index[index])
+        for dst in succs[index]:
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                heapq.heappush(ready, dst)
+    if len(order) != len(component):
+        raise ValueError(
+            "zero-iteration-difference dependence cycle in component;"
+            " no initiation interval can satisfy it"
+        )
+    return order
 
 
 def schedule_component(
@@ -75,7 +107,7 @@ def schedule_component(
     precedence-constrained range.
     """
     mrt = ModuloReservationTable(machine, s)
-    order = _zero_omega_order(component, [])
+    order = _zero_omega_order(component, paths.edges)
     times: dict[int, int] = {}
     scheduled: list[DepNode] = []
 

@@ -56,7 +56,7 @@ def resource_mii(
     bound, critical = 1, ""
     for resource, used in sorted(totals.items()):
         need = math.ceil(used / machine.units(resource))
-        if need > bound:
+        if need > bound or (need == bound and not critical):
             bound, critical = need, resource
     return bound, critical
 

@@ -44,12 +44,23 @@ class ModuloReservationTable:
             self._rows[row][resource] = self._rows[row].get(resource, 0) + amount
 
     def remove(self, reservation: ReservationTable, time: int) -> None:
+        """Remove a previously placed pattern, all-or-nothing.
+
+        The whole pattern is validated before any row is touched, so a
+        failed remove leaves the table exactly as it was.  Entries landing
+        on the same (row, resource) cell are summed first: validating them
+        one by one against the unmodified table would accept removals the
+        cell cannot cover.
+        """
+        needed: dict[tuple[int, str], int] = {}
         for offset, resource, amount in reservation:
-            row = (time + offset) % self.s
-            remaining = self._rows[row].get(resource, 0) - amount
-            if remaining < 0:
+            key = ((time + offset) % self.s, resource)
+            needed[key] = needed.get(key, 0) + amount
+        for (row, resource), amount in needed.items():
+            if self._rows[row].get(resource, 0) < amount:
                 raise ValueError("removing a pattern that was never placed")
-            self._rows[row][resource] = remaining
+        for (row, resource), amount in needed.items():
+            self._rows[row][resource] -= amount
 
     def earliest_fit(self, reservation: ReservationTable, earliest: int,
                      latest: int | None = None) -> int | None:

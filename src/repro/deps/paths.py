@@ -147,6 +147,7 @@ class SymbolicPaths:
         s_min: int,
     ) -> None:
         self.nodes = list(nodes)
+        self.edges = list(edges)
         self.s_min = max(1, s_min)
         n = len(self.nodes)
         self.local = {node.index: i for i, node in enumerate(self.nodes)}

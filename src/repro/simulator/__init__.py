@@ -15,14 +15,18 @@ from repro.simulator.executor import (
     SimStats,
     SimulationError,
     VLIWSimulator,
+    memory_diffs,
     run_code,
     run_and_check,
+    values_match,
 )
 
 __all__ = [
     "VLIWSimulator",
     "SimStats",
     "SimulationError",
+    "memory_diffs",
     "run_code",
     "run_and_check",
+    "values_match",
 ]

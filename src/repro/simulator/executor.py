@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -256,6 +257,29 @@ def run_code(
     return stats, simulator.memory
 
 
+def values_match(a, b) -> bool:
+    """Bit-for-bit equality with one IEEE concession: NaN matches NaN.
+
+    Plain ``==`` reports two NaNs as different, so a program that computes
+    NaN identically under both executions would be flagged as a mismatch.
+    """
+    if a == b:
+        return True
+    return (
+        isinstance(a, float) and isinstance(b, float)
+        and math.isnan(a) and math.isnan(b)
+    )
+
+
+def memory_diffs(memory: Memory, expected: Memory) -> list[str]:
+    """Human-readable cells where ``memory`` disagrees with ``expected``."""
+    return [
+        f"  {key}: simulated {memory.get(key)!r}, expected {expected.get(key)!r}"
+        for key in sorted(set(memory) | set(expected))
+        if not values_match(memory.get(key), expected.get(key))
+    ]
+
+
 def run_and_check(
     code: CodeObject,
     array_init: ArrayInit = default_array_init,
@@ -266,12 +290,8 @@ def run_and_check(
     stats, memory = run_code(code, array_init, **kwargs)
     interp = Interpreter(code.program, array_init)
     expected = interp.run()
-    if memory != expected:
-        diffs = [
-            f"  {key}: simulated {memory.get(key)!r}, expected {value!r}"
-            for key, value in expected.items()
-            if memory.get(key) != value
-        ]
+    diffs = memory_diffs(memory, expected)
+    if diffs:
         raise SimulationError(
             "simulated memory differs from the reference interpreter:\n"
             + "\n".join(diffs[:20])

@@ -131,3 +131,68 @@ class TestFactorRounding:
     )
     def test_smallest_factor_at_least(self, u, q, expected):
         assert _smallest_factor_at_least(u, q) == expected
+
+
+def _accumulator_plan(policy=MIN_UNROLL, fp_latency=7):
+    """``acc := acc + a[i]``: a self-referencing single definition."""
+    machine = make_warp(fp_latency=fp_latency)
+    pb = ProgramBuilder("acc")
+    pb.array("a", 256)
+    acc = pb.fmov(0.0)
+    with pb.loop("i", 0, 99) as body:
+        body.fadd(acc, body.load("a", body.var), dest=acc)
+    lg = build_reduced_loop_graph(pb.finish().body[-1], machine)
+    result = ModuloScheduler(machine).schedule(lg.graph)
+    plan = plan_expansion(result.schedule, lg.options.expanded_regs, policy)
+    return acc, plan, result.schedule
+
+
+class TestAgainstOracle:
+    """The edge cases of the plan, held to the independent audit oracle."""
+
+    def _clean(self, schedule, plan):
+        from repro.audit import audit_expansion
+
+        violations = audit_expansion(schedule, plan)
+        assert violations == [], "\n".join(map(str, violations))
+
+    def test_self_referencing_accumulator(self):
+        acc, plan, schedule = _accumulator_plan()
+        # acc reads its own previous value: the use is one iteration back
+        # and exactly one value is live per initiation interval chunk.
+        self_use = next(
+            omega for (node, reg), omega in plan.use_omega.items()
+            if reg == acc
+        )
+        assert self_use == 1
+        assert plan.q[acc] >= 1
+        self._clean(schedule, plan)
+
+    def test_accumulator_min_registers(self):
+        acc, plan, schedule = _accumulator_plan(MIN_REGISTERS)
+        assert plan.copies == plan.q
+        self._clean(schedule, plan)
+
+    def test_vadd_min_unroll_plan_is_clean(self):
+        plan, schedule = _vadd_plan(MIN_UNROLL)
+        assert max(plan.q.values()) >= 2  # the case actually exercises MVE
+        self._clean(schedule, plan)
+
+    def test_vadd_min_registers_plan_is_clean(self):
+        plan, schedule = _vadd_plan(MIN_REGISTERS)
+        self._clean(schedule, plan)
+
+    def test_policies_agree_on_lifetimes(self):
+        plan_u, _ = _vadd_plan(MIN_UNROLL)
+        plan_r, _ = _vadd_plan(MIN_REGISTERS)
+        assert plan_u.q == plan_r.q
+        assert plan_u.unroll <= plan_r.unroll or plan_u.unroll == max(
+            plan_u.q.values()
+        )
+
+    @pytest.mark.parametrize("u,q", [(1, 1), (4, 4), (9, 2), (10, 4)])
+    def test_smallest_factor_properties(self, u, q):
+        n = _smallest_factor_at_least(u, q)
+        assert u % n == 0 and n >= min(q, u)
+        # minimality: no smaller divisor >= q exists
+        assert not [m for m in range(q, n) if u % m == 0]

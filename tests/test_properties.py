@@ -159,9 +159,11 @@ def test_vadd_correct_for_all_trips_and_latencies(trip, fp_latency):
 def test_source_unrolling_preserves_semantics(program, factor):
     from repro.baselines import unroll_program
     from repro.ir import run_program
+    from repro.simulator import memory_diffs
 
     unrolled = unroll_program(program, factor)
-    assert run_program(program) == run_program(unrolled)
+    # NaN-aware comparison: both versions computing the same NaN agree.
+    assert memory_diffs(run_program(unrolled), run_program(program)) == []
 
 
 @given(

@@ -72,6 +72,32 @@ class TestMrt:
         with pytest.raises(ValueError):
             mrt.remove(ReservationTable.single("fadd"), 0)
 
+    def test_failed_remove_leaves_usage_unchanged(self):
+        # Removing a pattern whose *second* row was never placed must not
+        # decrement the first row on its way to the error.
+        mrt = ModuloReservationTable(WARP, 3)
+        mrt.place(ReservationTable.single("alu"), 0)
+        two_rows = ReservationTable(
+            [ResourceUse(0, "alu"), ResourceUse(1, "alu")]
+        )
+        with pytest.raises(ValueError):
+            mrt.remove(two_rows, 0)
+        assert mrt.usage(0, "alu") == 1
+        assert mrt.usage(1, "alu") == 0
+
+    def test_remove_same_cell_entries_validated_together(self):
+        # Two pattern entries landing on the same modulo cell must be
+        # summed before validation: each alone fits the single placed
+        # unit, together they do not.
+        mrt = ModuloReservationTable(WARP, 2)
+        mrt.place(ReservationTable.single("alu"), 0)
+        folded = ReservationTable(
+            [ResourceUse(0, "alu"), ResourceUse(2, "alu")]  # 2 mod 2 == 0
+        )
+        with pytest.raises(ValueError):
+            mrt.remove(folded, 0)
+        assert mrt.usage(0, "alu") == 1
+
     def test_bad_interval_rejected(self):
         with pytest.raises(ValueError):
             ModuloReservationTable(WARP, 0)
@@ -97,6 +123,24 @@ class TestMii:
             body.fadd(s, body.load("a", body.var), dest=s)
         graph = build_reduced_loop_graph(pb.finish().body[-1], WARP).graph
         assert recurrence_mii(graph) == 7  # fadd latency
+
+    def test_critical_resource_reported_at_bound_one(self):
+        # The bound starts at 1; a resource that *attains* 1 is still the
+        # binding one and must be named, not left empty.
+        ops = [
+            Operation(Opcode.FADD, Reg("x", "float"), (Imm(1.0), Imm(2.0))),
+        ]
+        graph = build_block_graph(ops, WARP)
+        bound, critical = resource_mii(graph.nodes, WARP)
+        assert bound == 1
+        assert critical == sorted(
+            graph.nodes[0].reservation.resources()
+        )[0]
+
+    def test_critical_resource_in_full_report(self):
+        graph = build_loop_graph(_vadd_loop(), WARP)
+        report = compute_mii(graph, WARP)
+        assert report.critical_resource == "mem"
 
     def test_mii_is_max_of_bounds(self):
         graph = build_loop_graph(_vadd_loop(), WARP)

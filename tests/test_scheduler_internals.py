@@ -8,7 +8,7 @@ from repro.core.acyclic import (
     item_heights,
     modulo_schedule_dag,
 )
-from repro.core.cyclic import Cluster, schedule_component
+from repro.core.cyclic import Cluster, _zero_omega_order, schedule_component
 from repro.core.mrt import ModuloReservationTable
 from repro.deps.graph import DepGraph, DepNode
 from repro.deps.paths import SymbolicPaths, minimum_initiation_interval_for_cycles
@@ -124,3 +124,44 @@ class TestComponentScheduling:
         paths = SymbolicPaths(nodes, edges, 1)
         cluster = schedule_component(nodes, paths, 2, WARP)
         assert cluster is not None
+
+
+class TestZeroOmegaOrder:
+    """Regressions for the intra-iteration ordering used inside SCCs.
+
+    The old implementation ignored the edges and sorted by node index,
+    silently assuming every zero-omega edge increases the index.
+    """
+
+    def test_decreasing_index_edge_respected(self):
+        # Zero-omega edge 1 -> 0: node 1 must come first even though its
+        # index is larger.
+        nodes, edges = _scc([(1, 0, 3, 0), (0, 1, 1, 1)])
+        order = [node.index for node in _zero_omega_order(nodes, edges)]
+        assert order == [1, 0]
+
+    def test_index_breaks_ties_deterministically(self):
+        nodes, edges = _scc([(0, 2, 1, 0), (1, 2, 1, 0), (2, 0, 1, 2)])
+        order = [node.index for node in _zero_omega_order(nodes, edges)]
+        assert order == [0, 1, 2]
+
+    def test_zero_omega_cycle_raises(self):
+        nodes, edges = _scc([(0, 1, 1, 0), (1, 0, 1, 0), (1, 0, 0, 1)])
+        with pytest.raises(ValueError, match="zero-iteration"):
+            _zero_omega_order(nodes, edges)
+
+    def test_edges_outside_component_ignored(self):
+        nodes, edges = _scc([(0, 1, 1, 0), (1, 0, 1, 1), (1, 2, 1, 0),
+                             (2, 1, 1, 1)])
+        order = [n.index for n in _zero_omega_order(nodes[:2], edges)]
+        assert order == [0, 1]
+
+    def test_component_schedules_against_decreasing_index_edge(self):
+        # End to end: the SCC with the index-decreasing intra-iteration
+        # edge still schedules, and the precedence constraint holds.
+        nodes, edges = _scc([(1, 0, 3, 0), (0, 1, 1, 1)])
+        s_min = minimum_initiation_interval_for_cycles(nodes, edges)
+        paths = SymbolicPaths(nodes, edges, s_min)
+        cluster = schedule_component(nodes, paths, s_min, WARP)
+        assert cluster is not None
+        assert cluster.offset_of(nodes[0]) - cluster.offset_of(nodes[1]) >= 3
