@@ -98,7 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     suite.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker threads for the batch driver (default: 1)",
+        help="worker threads/processes for the batch driver (default: 1)",
+    )
+    suite.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="worker-pool backend; 'process' sidesteps the GIL for"
+             " CPU-bound batches (default: thread)",
     )
     suite.add_argument(
         "--count", type=int, default=72, metavar="N",
@@ -123,11 +128,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker threads for the campaign (default: 1)",
+        help="worker threads/processes for the campaign (default: 1)",
+    )
+    fuzz.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="worker-pool backend; 'process' sidesteps the GIL for"
+             " CPU-bound campaigns (default: thread)",
     )
     fuzz.add_argument(
         "--stats", action="store_true",
         help="dump the campaign's JSON violation/counter breakdown",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the scheduler microbenchmark suite (repro.perf)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced repetitions/sizes for CI smoke runs",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the benchmark report JSON to PATH",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a baseline BENCH_*.json; exit nonzero on a"
+             " >2x per-unit regression",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker count for the backend-comparison benchmark"
+             " (default: 4)",
     )
     return parser
 
@@ -145,7 +178,8 @@ def _run_suite(args: argparse.Namespace) -> int:
     programs = generate_suite()[: args.count]
     report = compile_many(
         programs, machine, _policy(args),
-        jobs=args.jobs, cache=cache, collect_stats=args.stats,
+        jobs=args.jobs, backend=args.backend,
+        cache=cache, collect_stats=args.stats,
     )
     print(report.summary())
     for error in report.errors:
@@ -163,6 +197,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         count=args.count,
         graphs=args.graphs,
         jobs=args.jobs,
+        backend=args.backend,
         machine=MACHINES[args.machine],
         policy=_policy(args),
     )
@@ -179,6 +214,22 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.perf import run_benchmarks, write_report, compare_reports
+
+    report = run_benchmarks(quick=args.quick, jobs=args.jobs)
+    print(report.summary())
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.compare:
+        regressions = compare_reports(args.compare, report)
+        for line in regressions:
+            print(f"regression: {line}", file=sys.stderr)
+        return 1 if regressions else 0
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -186,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_suite(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
+    if args.command == "bench":
+        return _run_bench(args)
 
     try:
         text = _read_source(args)

@@ -15,6 +15,7 @@ regression corpus under ``tests/corpus/``.
 
 from __future__ import annotations
 
+import functools
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -185,6 +186,7 @@ def run_campaign(
     *,
     graphs: Optional[int] = None,
     jobs: int = 1,
+    backend: str = "thread",
     machine: MachineDescription = WARP,
     policy: CompilerPolicy = CompilerPolicy(),
     program_config: ProgramConfig = ProgramConfig(),
@@ -192,19 +194,26 @@ def run_campaign(
 ) -> FuzzReport:
     """Run ``count`` program cases and ``graphs`` graph cases (default
     ``count // 4``), derived from consecutive seeds so any single case is
-    reproducible with ``--seed <case seed> --count 1``."""
+    reproducible with ``--seed <case seed> --count 1``.
+
+    ``backend="process"`` runs the cases in a process pool — the campaign
+    is pure Python and CPU-bound, so that is where ``jobs > 1`` actually
+    buys wall time.  The worker is a :func:`functools.partial` over the
+    module-level :func:`run_case` so it pickles cleanly.
+    """
     if graphs is None:
         graphs = count // 4
     cases = [FuzzCase("program", seed + i) for i in range(count)]
     cases += [FuzzCase("graph", seed + i) for i in range(graphs)]
     t0 = time.perf_counter()
-    results = run_many(
-        cases,
-        lambda case: run_case(
-            case, machine, policy, program_config, graph_config
-        ),
-        jobs=jobs,
+    worker = functools.partial(
+        run_case,
+        machine=machine,
+        policy=policy,
+        program_config=program_config,
+        graph_config=graph_config,
     )
+    results = run_many(cases, worker, jobs=jobs, backend=backend)
     return FuzzReport(
         seed=seed,
         results=results,

@@ -1,9 +1,10 @@
 """Parallel batch compilation with a content-addressed schedule cache.
 
 * :mod:`repro.batch.driver` — ``compile_many(sources, machine, jobs=N)``:
-  a `concurrent.futures` worker pool with per-program fault isolation
-  (one failing program yields a structured :class:`CompileError` record
-  instead of killing the batch) and input-order results.
+  a `concurrent.futures` worker pool (thread or process backend, see
+  ``BACKENDS``) with per-program fault isolation (one failing program
+  yields a structured :class:`CompileError` record instead of killing the
+  batch) and input-order results.
 * :mod:`repro.batch.cache` — a schedule cache keyed on the SHA-256 of
   (IR fingerprint, machine fingerprint, policy fingerprint), with an
   in-memory layer plus an on-disk backend under ``.repro_cache/`` and
@@ -19,6 +20,7 @@ from repro.batch.cache import (
     fingerprint_program,
 )
 from repro.batch.driver import (
+    BACKENDS,
     BatchReport,
     CompileError,
     CompileResult,
@@ -28,6 +30,7 @@ from repro.batch.driver import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BatchReport",
     "CompileError",
     "CompileResult",

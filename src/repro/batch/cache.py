@@ -131,6 +131,22 @@ class ScheduleCache:
             else:
                 self.misses += 1
 
+    # -- pickling (process-pool batch backend) -------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Only the disk path crosses a process boundary: the lock is not
+        picklable, and the in-memory layer plus counters are per-process
+        state (each worker rebuilds its own; the batch report's hit/miss
+        accounting relies on per-result flags, not on these counters)."""
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.path = state["path"]
+        self._memory = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
     # -- the cache protocol --------------------------------------------------
 
     def get(self, key: str) -> Optional["CompiledProgram"]:

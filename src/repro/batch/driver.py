@@ -10,13 +10,22 @@ Results are returned in input order regardless of worker scheduling, and
 every worker compiles with its own register allocator and observer, so a
 ``jobs=4`` batch is bit-identical to a serial one (guarded by the
 determinism and property tests).
+
+Two pool backends share those semantics.  ``backend="thread"`` (the
+default) is cheap to spin up but serialises the pure-Python compiler on
+the GIL, so it mostly helps workloads that block (disk cache I/O).
+``backend="process"`` uses :class:`~concurrent.futures.ProcessPoolExecutor`
+for true parallel compilation; it requires the worker, items, and results
+to be picklable (module-level functions and ``functools.partial`` closures
+qualify; lambdas do not).
 """
 
 from __future__ import annotations
 
+import functools
 import time
 import traceback as _traceback
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence, Union
 
@@ -31,7 +40,17 @@ from repro.obs import trace as obs
 SourceLike = Union[str, tuple, Any]
 
 
-def run_many(items: Sequence[Any], worker, *, jobs: int = 1) -> list[Any]:
+#: Accepted ``backend`` values for the batch substrate.
+BACKENDS = ("thread", "process")
+
+
+def run_many(
+    items: Sequence[Any],
+    worker,
+    *,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> list[Any]:
     """Generic worker-pool map with submission-order results.
 
     The batch substrate shared by ``compile_many`` and the fuzzing
@@ -41,11 +60,21 @@ def run_many(items: Sequence[Any], worker, *, jobs: int = 1) -> list[Any]:
     returns a structured error record instead of raising (like
     :func:`compile_one` or the audit campaign's case runner) keeps one bad
     item from taking down the batch.
+
+    ``backend="process"`` swaps the thread pool for a process pool with
+    identical ordering and fault-isolation semantics; worker, items, and
+    results must then be picklable.  Single-job or single-item batches run
+    inline regardless of backend.
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown batch backend {backend!r}; expected one of {BACKENDS}"
+        )
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [worker(item) for item in items]
-    with ThreadPoolExecutor(max_workers=jobs) as pool:
+    executor = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    with executor(max_workers=jobs) as pool:
         futures = [pool.submit(worker, item) for item in items]
         return [future.result() for future in futures]
 
@@ -247,12 +276,28 @@ def compile_one(
         )
 
 
+def _compile_item(
+    item: tuple[str, str],
+    machine: MachineDescription,
+    policy: "CompilerPolicy",
+    cache: Optional[ScheduleCache],
+    collect_stats: bool,
+) -> CompileResult:
+    """Module-level batch worker (picklable for the process backend)."""
+    name, text = item
+    return compile_one(
+        name, text, machine, policy,
+        cache=cache, collect_stats=collect_stats,
+    )
+
+
 def compile_many(
     sources: Iterable[SourceLike],
     machine: MachineDescription = WARP,
     policy: CompilerPolicy = CompilerPolicy(),
     *,
     jobs: int = 1,
+    backend: str = "thread",
     cache: Optional[ScheduleCache] = None,
     collect_stats: bool = False,
 ) -> BatchReport:
@@ -261,18 +306,22 @@ def compile_many(
     Returns a :class:`BatchReport` whose ``results`` align with the input
     order.  With a :class:`ScheduleCache`, programs already compiled for
     this (IR, machine, policy) triple are hash lookups.
+
+    With ``backend="process"`` each worker process gets its own in-memory
+    cache layer; a disk-backed :class:`ScheduleCache` still shares entries
+    across workers (writes are atomic), and per-result ``from_cache`` flags
+    keep the report's hit/miss accounting correct either way.
     """
     items = _coerce_sources(sources)
     t0 = time.perf_counter()
-
-    def worker(item: tuple[str, str]) -> CompileResult:
-        name, text = item
-        return compile_one(
-            name, text, machine, policy,
-            cache=cache, collect_stats=collect_stats,
-        )
-
-    results = run_many(items, worker, jobs=jobs)
+    worker = functools.partial(
+        _compile_item,
+        machine=machine,
+        policy=policy,
+        cache=cache,
+        collect_stats=collect_stats,
+    )
+    results = run_many(items, worker, jobs=jobs, backend=backend)
     return BatchReport(
         results=results,
         jobs=max(1, jobs),

@@ -110,6 +110,10 @@ def schedule_component(
     order = _zero_omega_order(component, paths.edges)
     times: dict[int, int] = {}
     scheduled: list[DepNode] = []
+    # One dense materialization of the symbolic closure per (component, s);
+    # the O(n^2) range computations below are then flat array lookups.
+    dist = paths.dense(s)
+    local = paths.local
 
     for node in order:
         if not scheduled:
@@ -120,11 +124,14 @@ def schedule_component(
         else:
             low: float = NEG_INF
             high: float = math.inf
+            node_local = local[node.index]
+            node_row = dist[node_local]
             for other in scheduled:
-                forward = paths.evaluate(other, node, s)
+                other_local = local[other.index]
+                forward = dist[other_local][node_local]
                 if forward != NEG_INF:
                     low = max(low, times[other.index] + forward)
-                backward = paths.evaluate(node, other, s)
+                backward = node_row[other_local]
                 if backward != NEG_INF:
                     high = min(high, times[other.index] - backward)
             if low == NEG_INF:

@@ -16,10 +16,30 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.deps.graph import DepGraph, DepNode
-from repro.deps.paths import minimum_initiation_interval_for_cycles
+from repro.deps.graph import DepEdge, DepGraph, DepNode
+from repro.deps.paths import SymbolicPaths
 from repro.deps.scc import strongly_connected_components
 from repro.machine.description import MachineDescription
+
+
+def component_internal_edges(
+    graph: DepGraph, components: Sequence[Sequence[DepNode]]
+) -> list[list[DepEdge]]:
+    """Bucket the graph's edges by owning component in one O(V + E) pass
+    (replacing the per-component O(V * E) edge filter): slot ``i`` holds the
+    edges internal to ``components[i]``; cross-component edges are skipped.
+    """
+    component_of = {
+        node.index: slot
+        for slot, component in enumerate(components)
+        for node in component
+    }
+    internal: list[list[DepEdge]] = [[] for _ in components]
+    for edge in graph.edges:
+        slot = component_of[edge.src.index]
+        if component_of[edge.dst.index] == slot:
+            internal[slot].append(edge)
+    return internal
 
 
 @dataclass(frozen=True)
@@ -64,22 +84,22 @@ def resource_mii(
 def recurrence_mii(graph: DepGraph) -> int:
     """Recurrence-constrained bound, from per-SCC minimum-ratio cycles.
 
+    Each component's bound is read off the diagonal frontiers of its fused
+    symbolic closure (see :class:`repro.deps.paths.SymbolicPaths`); the
+    scheduler shares those closures instead of calling this, so the
+    standalone function builds and discards them.
+
     Raises :class:`repro.deps.CyclicDependenceError` when a
     zero-iteration-difference cycle has positive delay.
     """
     bound = 0
-    edges = graph.edges
-    for component in strongly_connected_components(graph):
-        members = {node.index for node in component}
-        local = [
-            e for e in edges
-            if e.src.index in members and e.dst.index in members
-        ]
+    components = strongly_connected_components(graph)
+    for component, local in zip(
+        components, component_internal_edges(graph, components)
+    ):
         if not local:
             continue
-        bound = max(
-            bound, minimum_initiation_interval_for_cycles(component, local)
-        )
+        bound = max(bound, SymbolicPaths(component, local).recurrence_bound)
     return bound
 
 

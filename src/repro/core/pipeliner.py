@@ -7,6 +7,15 @@ itself is usually schedulable, so starting there and counting up finds the
 optimum cheaply.  A binary search (the FPS-164 approach) is provided for the
 ablation study.
 
+Preprocessing runs exactly once per graph: a single pass buckets every edge
+as internal to its strongly connected component or as a cross-component
+edge, one symbolic longest-path closure is built per nontrivial component
+(carrying the component's exact recurrence bound, so the MII computation
+shares the closure instead of re-deriving the bound numerically), and all
+s-independent attempt state — singleton clusters and schedulable items, the
+node-to-item map, cross-component edge metadata — is hoisted out of the
+per-interval loop.
+
 Per candidate interval: strongly connected components are scheduled
 individually, condensed into single vertices carrying their aggregate
 resource usage, and the resulting acyclic graph is scheduled by modulo list
@@ -16,20 +25,17 @@ loop-back branch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.obs import trace as obs
 from repro.core.acyclic import ItemEdge, SchedItem, modulo_schedule_dag
 from repro.core.cyclic import Cluster, schedule_component
-from repro.core.mii import MiiReport, compute_mii
+from repro.core.mii import MiiReport, resource_mii
 from repro.core.mrt import ModuloReservationTable
 from repro.core.schedule import KernelSchedule, SchedulingFailure
-from repro.deps.graph import DepGraph, DepNode
-from repro.deps.paths import (
-    SymbolicPaths,
-    minimum_initiation_interval_for_cycles,
-)
+from repro.deps.graph import DepEdge, DepGraph, DepNode
+from repro.deps.paths import SymbolicPaths
 from repro.deps.scc import condensation_order
 from repro.machine.description import MachineDescription
 from repro.machine.resources import ReservationTable
@@ -72,6 +78,44 @@ class PipelineResult:
         return self.schedule.ii
 
 
+@dataclass
+class PreparedGraph:
+    """Everything about one dependence graph that does not depend on the
+    candidate initiation interval, computed once before the search.
+
+    components / paths
+        Condensation-ordered components and, aligned by slot, each
+        nontrivial component's symbolic closure (``None`` for singletons
+        without self-recurrences).
+    recurrence
+        The graph's recurrence-constrained bound: the maximum of the
+        closures' fused per-component bounds.
+    item_of
+        node index -> condensed item slot.
+    base_items / base_clusters
+        Per slot, the fixed :class:`SchedItem` / :class:`Cluster` for
+        trivial components (their reservation and span never change);
+        ``None`` where an attempt must schedule the component.
+    cross_edges
+        Cross-component edges in graph order, as ``(edge, src_item,
+        dst_item, delta)``; ``delta`` is the precomputed member-offset
+        correction when both endpoints are singletons (always 0), or
+        ``None`` when it depends on the attempt's component schedules.
+    """
+
+    components: list[list[DepNode]]
+    paths: list[Optional[SymbolicPaths]]
+    recurrence: int
+    item_of: dict[int, int]
+    base_items: list[Optional[SchedItem]]
+    base_clusters: list[Optional[Cluster]]
+    cross_edges: list[tuple[DepEdge, int, int, Optional[int]]]
+
+    @property
+    def scc_count(self) -> int:
+        return sum(1 for paths in self.paths if paths is not None)
+
+
 class ModuloScheduler:
     """Software-pipelines dependence graphs for one machine."""
 
@@ -90,12 +134,10 @@ class ModuloScheduler:
 
         Raises :class:`SchedulingFailure` if none is found below the cap.
         """
-        extra = {self.policy.branch_resource: 1} if self.policy.reserve_branch else None
         with obs.phase("mii"):
-            mii = compute_mii(graph, self.machine, extra)
-            components = condensation_order(graph)
-            prepared = self._prepare_components(graph, components)
-        obs.count("sccs", sum(1 for _, paths in prepared if paths is not None))
+            prepared = self._prepare_components(graph, condensation_order(graph))
+            mii = self._mii_report(graph, prepared)
+        obs.count("sccs", prepared.scc_count)
         max_ii = self.policy.max_ii or self._default_cap(graph)
 
         attempts: list[int] = []
@@ -119,39 +161,90 @@ class ModuloScheduler:
 
     def schedule_at(self, graph: DepGraph, s: int) -> Optional[PipelineResult]:
         """Attempt exactly one initiation interval (useful for testing)."""
-        extra = {self.policy.branch_resource: 1} if self.policy.reserve_branch else None
-        mii = compute_mii(graph, self.machine, extra)
+        prepared = self._prepare_components(graph, condensation_order(graph))
+        mii = self._mii_report(graph, prepared)
         if s < mii.recurrence:
             return None
-        prepared = self._prepare_components(graph, condensation_order(graph))
         return self._try_interval(graph, prepared, s, mii, [s])
 
     # -- preprocessing -------------------------------------------------------
+
+    def _mii_report(self, graph: DepGraph, prepared: PreparedGraph) -> MiiReport:
+        """Both lower bounds; the recurrence side comes for free from the
+        prepared closures instead of a separate numeric search."""
+        extra = (
+            {self.policy.branch_resource: 1}
+            if self.policy.reserve_branch
+            else None
+        )
+        resource, critical = resource_mii(graph.nodes, self.machine, extra)
+        return MiiReport(
+            resource=resource,
+            recurrence=prepared.recurrence,
+            critical_resource=critical,
+        )
 
     def _prepare_components(
         self,
         graph: DepGraph,
         components: list[list[DepNode]],
-    ) -> list[tuple[list[DepNode], Optional[SymbolicPaths]]]:
-        """Per component: the symbolic longest-path closure, computed once
-        with a symbolic initiation interval (the paper's preprocessing
-        step), or ``None`` for trivial components."""
-        edges = graph.edges
-        prepared = []
-        for component in components:
-            members = {node.index for node in component}
-            internal = [
-                e for e in edges
-                if e.src.index in members and e.dst.index in members
-            ]
-            if len(component) == 1 and not internal:
-                prepared.append((component, None))
+    ) -> PreparedGraph:
+        """One pass over the edges buckets them by component; one symbolic
+        closure per nontrivial component (the paper's preprocessing step,
+        now also yielding the recurrence bound); everything an attempt does
+        not have to recompute is materialized here."""
+        item_of = {
+            node.index: slot
+            for slot, component in enumerate(components)
+            for node in component
+        }
+        internal: list[list[DepEdge]] = [[] for _ in components]
+        cross: list[tuple[DepEdge, int, int, Optional[int]]] = []
+        trivial: list[bool] = [len(c) == 1 for c in components]
+        for edge in graph.edges:
+            src_item = item_of[edge.src.index]
+            dst_item = item_of[edge.dst.index]
+            if src_item == dst_item:
+                internal[src_item].append(edge)
+            else:
+                cross.append((edge, src_item, dst_item, None))
+
+        paths: list[Optional[SymbolicPaths]] = []
+        base_items: list[Optional[SchedItem]] = []
+        base_clusters: list[Optional[Cluster]] = []
+        recurrence = 0
+        for slot, component in enumerate(components):
+            if trivial[slot] and not internal[slot]:
+                node = component[0]
+                paths.append(None)
+                base_items.append(SchedItem(slot, node.reservation, node.length))
+                base_clusters.append(
+                    Cluster([node], {node.index: 0}, node.reservation)
+                )
                 continue
-            s_min = max(
-                1, minimum_initiation_interval_for_cycles(component, internal)
-            )
-            prepared.append((component, SymbolicPaths(component, internal, s_min)))
-        return prepared
+            closure = SymbolicPaths(component, internal[slot])
+            recurrence = max(recurrence, closure.recurrence_bound)
+            paths.append(closure)
+            base_items.append(None)
+            base_clusters.append(None)
+
+        # A cross edge between two fixed singletons never changes: both
+        # member offsets are 0, so the item-edge delay is the edge delay.
+        cross = [
+            (edge, src_item, dst_item,
+             0 if base_items[src_item] is not None
+             and base_items[dst_item] is not None else None)
+            for edge, src_item, dst_item, _ in cross
+        ]
+        return PreparedGraph(
+            components=components,
+            paths=paths,
+            recurrence=recurrence,
+            item_of=item_of,
+            base_items=base_items,
+            base_clusters=base_clusters,
+            cross_edges=cross,
+        )
 
     def _default_cap(self, graph: DepGraph) -> int:
         span = sum(node.length for node in graph.nodes)
@@ -163,47 +256,33 @@ class ModuloScheduler:
     def _try_interval(
         self,
         graph: DepGraph,
-        prepared: list[tuple[list[DepNode], Optional[SymbolicPaths]]],
+        prepared: PreparedGraph,
         s: int,
         mii: MiiReport,
         attempts: list[int],
     ) -> Optional[PipelineResult]:
-        clusters: list[Cluster] = []
-        cluster_of: dict[int, int] = {}  # node.index -> item index
-        items: list[SchedItem] = []
+        clusters: list[Cluster] = list(prepared.base_clusters)
+        items: list[SchedItem] = list(prepared.base_items)
 
-        for component, paths in prepared:
-            item_index = len(items)
+        for slot, paths in enumerate(prepared.paths):
             if paths is None:
-                node = component[0]
-                items.append(
-                    SchedItem(item_index, node.reservation, node.length)
-                )
-                clusters.append(
-                    Cluster([node], {node.index: 0}, node.reservation)
-                )
-            else:
-                cluster = schedule_component(component, paths, s, self.machine)
-                if cluster is None:
-                    obs.count("backtracks")
-                    return None
-                items.append(
-                    SchedItem(item_index, cluster.reservation, cluster.span)
-                )
-                clusters.append(cluster)
-            for node in component:
-                cluster_of[node.index] = item_index
+                continue
+            cluster = schedule_component(
+                prepared.components[slot], paths, s, self.machine
+            )
+            if cluster is None:
+                obs.count("backtracks")
+                return None
+            items[slot] = SchedItem(slot, cluster.reservation, cluster.span)
+            clusters[slot] = cluster
 
         item_edges = []
-        for edge in graph.edges:
-            src_item = cluster_of[edge.src.index]
-            dst_item = cluster_of[edge.dst.index]
-            if src_item == dst_item:
-                continue
-            delta = (
-                clusters[src_item].offset_of(edge.src)
-                - clusters[dst_item].offset_of(edge.dst)
-            )
+        for edge, src_item, dst_item, delta in prepared.cross_edges:
+            if delta is None:
+                delta = (
+                    clusters[src_item].offset_of(edge.src)
+                    - clusters[dst_item].offset_of(edge.dst)
+                )
             item_edges.append(
                 ItemEdge(src_item, dst_item, edge.delay + delta, edge.omega)
             )
@@ -232,7 +311,7 @@ class ModuloScheduler:
     def _binary_search(
         self,
         graph: DepGraph,
-        prepared: list,
+        prepared: PreparedGraph,
         mii: MiiReport,
         max_ii: int,
         attempts: list[int],

@@ -14,6 +14,7 @@ from repro.deps.paths import (
     SymbolicPaths,
     longest_paths,
     minimum_initiation_interval_for_cycles,
+    numeric_recurrence_bound,
 )
 from repro.deps.build import (
     DependenceOptions,
@@ -33,6 +34,7 @@ __all__ = [
     "SymbolicPaths",
     "longest_paths",
     "minimum_initiation_interval_for_cycles",
+    "numeric_recurrence_bound",
     "CyclicDependenceError",
     "DependenceOptions",
     "build_loop_graph",

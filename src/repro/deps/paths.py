@@ -9,20 +9,37 @@ the pair ``(d, p)``, and only the Pareto frontier of pairs can ever achieve
 the maximum, so :class:`SymbolicPaths` stores frontier sets and evaluates
 them for each concrete ``s`` the iterative scheduler tries.
 
-Frontier pruning needs a lower bound ``s_min`` on every ``s`` that will be
-queried: pair ``(d1, p1)`` dominates ``(d2, p2)`` iff ``d1 - s*p1 >=
-d2 - s*p2`` for all ``s >= s_min``, i.e. ``p1 <= p2`` and ``d2 - d1 <=
-s_min * (p2 - p1)``.  Using the component's recurrence-constrained lower
-bound as ``s_min`` also guarantees convergence: augmenting a path by a
-dependence cycle ``c`` adds ``(d(c), p(c))`` with ``d(c) <= s_min * p(c)``,
-which is always dominated.
+The recurrence-constrained lower bound on the initiation interval —
+``max(ceil(d(c) / p(c)))`` over dependence cycles ``c`` — is *fused* into
+the same closure: the build phase prunes with the s-independent
+coordinate-wise rule (``d1 >= d2`` and ``p1 <= p2``), which preserves the
+cycle-ratio order exactly, and caps path iteration differences at the
+largest any simple path can accumulate, so the diagonal frontiers carry a
+dominating representative of every simple cycle.  Reading the maximum
+``ceil(d / p)`` off the diagonals therefore yields the exact bound without
+any of the numeric Floyd-Warshall probes a binary search would need.
+
+Once the bound ``s_min`` is known (derived or supplied), every cell is
+re-pruned with the value rule: pair ``(d1, p1)`` dominates ``(d2, p2)`` iff
+``d1 - s*p1 >= d2 - s*p2`` for all ``s >= s_min``, i.e. ``p1 <= p2`` and
+``d2 - d1 <= s_min * (p2 - p1)``.  Surviving frontiers are tiny and kept
+sorted by omega (and hence by delay and by value at ``s_min``, all strictly
+increasing), which makes domination checks O(log n) bisections.
+
+Per candidate initiation interval the scheduler asks for many entries of
+the same closure, so the first query at a given ``s`` materializes the
+frontier table into a dense matrix (:meth:`SymbolicPaths.dense`); repeat
+queries are flat O(1) array lookups, counted by the ambient observer's
+``dense_cache_hits`` / ``dense_cache_misses`` pair.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Optional, Sequence
 
 from repro.deps.graph import DepEdge, DepNode
+from repro.obs import trace as obs
 
 NEG_INF = float("-inf")
 
@@ -81,16 +98,17 @@ def longest_paths(
     return dist
 
 
-def minimum_initiation_interval_for_cycles(
+def numeric_recurrence_bound(
     nodes: Sequence[DepNode],
     edges: Sequence[DepEdge],
     upper_bound: int = 1 << 20,
 ) -> int:
-    """Smallest integer ``s >= 0`` with no positive cycle, i.e. the
-    recurrence-constrained bound max over cycles of ceil(d(c) / p(c)).
+    """Reference implementation of the recurrence bound: binary search over
+    concrete intervals, each probed with a full numeric Floyd-Warshall pass
+    (the pre-fusion algorithm, ~21 O(n^3) passes for the default range).
 
-    Raises :class:`CyclicDependenceError` if a cycle with total iteration
-    difference 0 has positive delay (infeasible at every ``s``).
+    Kept as the oracle the fused symbolic derivation is property-tested
+    against, and as the baseline of the ``closure_mii`` microbenchmark.
     """
     if longest_paths(nodes, edges, upper_bound) is None:
         raise CyclicDependenceError(
@@ -108,78 +126,222 @@ def minimum_initiation_interval_for_cycles(
     return lo
 
 
+def minimum_initiation_interval_for_cycles(
+    nodes: Sequence[DepNode],
+    edges: Sequence[DepEdge],
+    upper_bound: int = 1 << 20,
+) -> int:
+    """Smallest integer ``s >= 0`` with no positive cycle, i.e. the
+    recurrence-constrained bound max over cycles of ceil(d(c) / p(c)).
+
+    Computed from the diagonal Pareto frontiers of one symbolic closure
+    (see :class:`SymbolicPaths`); ``upper_bound`` is accepted for backward
+    compatibility but no numeric search happens any more.
+
+    Raises :class:`CyclicDependenceError` if a cycle with total iteration
+    difference 0 has positive delay (infeasible at every ``s``).
+    """
+    del upper_bound
+    return SymbolicPaths(nodes, edges).recurrence_bound
+
+
 # -- symbolic closure --------------------------------------------------------
 
 #: A Pareto frontier of (delay, omega) path costs, kept sorted by omega.
+#: Surviving pairs are strictly increasing in omega, in delay, and in
+#: value at the pruning bound (``d - s_min * p``).
 Frontier = tuple[tuple[int, int], ...]
 
 
-def _dominates(d1: int, p1: int, d2: int, p2: int, s_min: int) -> bool:
-    return p1 <= p2 and d2 - d1 <= s_min * (p2 - p1)
+def _omega_of(pair: tuple[int, int]) -> int:
+    return pair[1]
 
 
-def _insert(frontier: list[tuple[int, int]], d: int, p: int, s_min: int) -> bool:
+def _insert(
+    frontier: list[tuple[int, int]],
+    d: int,
+    p: int,
+    s_min: int,
+    p_cap: Optional[int] = None,
+) -> bool:
     """Insert (d, p) into the frontier, pruning dominated pairs.
+
+    ``frontier`` is kept sorted by omega.  Because survivors are strictly
+    increasing in value at ``s_min`` along that order, the only possible
+    dominator of a new pair is its immediate predecessor (largest
+    ``p1 <= p``), and the pairs it dominates form a contiguous run starting
+    at its insertion point — so one bisection plus local scans suffice
+    instead of a full frontier sweep.
+
+    With ``s_min = 0`` the rule degenerates to coordinate-wise domination
+    (``d1 >= d`` and ``p1 <= p``), which is valid for every ``s >= 0`` and
+    preserves cycle ratios; ``p_cap`` then bounds accumulated iteration
+    differences so cycle-augmented paths cannot wrap forever.
 
     Returns True if the pair was actually added (i.e. it was not dominated).
     """
-    for d1, p1 in frontier:
-        if _dominates(d1, p1, d, p, s_min):
+    if p_cap is not None and p > p_cap:
+        return False
+    value = d - s_min * p
+    i = bisect_left(frontier, p, key=_omega_of)
+    # The candidate dominator: the last pair with p1 <= p.  frontier[i]
+    # itself qualifies when it has equal omega.
+    j = i + 1 if i < len(frontier) and frontier[i][1] == p else i
+    if j > 0:
+        d1, p1 = frontier[j - 1]
+        if d1 - s_min * p1 >= value:
             return False
-    frontier[:] = [
-        (d1, p1) for d1, p1 in frontier if not _dominates(d, p, d1, p1, s_min)
-    ]
-    frontier.append((d, p))
+    # Pairs dominated by (d, p): omega >= p and value <= ours — a
+    # contiguous run from the insertion point, by the sort invariant.
+    k = i
+    end = len(frontier)
+    while k < end:
+        d1, p1 = frontier[k]
+        if d1 - s_min * p1 > value:
+            break
+        k += 1
+    frontier[i:k] = [(d, p)]
     return True
+
+
+def _ceil_div(d: int, p: int) -> int:
+    return -(-d // p)
 
 
 class SymbolicPaths:
     """All-points longest paths over one SCC with symbolic initiation
     interval, computed once and evaluated cheaply per candidate ``s``.
 
-    ``s_min`` must lower-bound every ``s`` passed to :meth:`evaluate`.
+    With ``s_min`` omitted (the fused mode used by the scheduler), the
+    component's exact recurrence-constrained bound is derived from the
+    closure itself and exposed as :attr:`recurrence_bound`; the frontiers
+    are then pruned for queries at ``s >= max(1, recurrence_bound)``.  An
+    explicit ``s_min`` must lower-bound every ``s`` passed to
+    :meth:`evaluate` (the legacy contract).
     """
 
     def __init__(
         self,
         nodes: Sequence[DepNode],
         edges: Sequence[DepEdge],
-        s_min: int,
+        s_min: Optional[int] = None,
     ) -> None:
         self.nodes = list(nodes)
         self.edges = list(edges)
-        self.s_min = max(1, s_min)
         n = len(self.nodes)
         self.local = {node.index: i for i, node in enumerate(self.nodes)}
+        local_edges = _local_edges(self.nodes, edges)
+        # No simple path repeats a node, so its total iteration difference
+        # is at most one maximal omega per node; capping there keeps every
+        # pair a simple path needs while bounding cycle wrap-around even
+        # before the adaptive bound below kicks in.
+        max_omega = max((omega for *_rest, omega in local_edges), default=0)
+        p_cap = n * max_omega
+        # The adaptive pruning bound: the largest ceil(d / p) seen on any
+        # diagonal (closed-walk) pair so far.  Every diagonal pair is a
+        # real dependence cycle composition, so ``bound`` is a certified
+        # lower bound on the recurrence MII at all times — pruning with it
+        # is sound for every ``s`` the scheduler can ever try — and once it
+        # reaches a cycle's ratio, further wraps of that cycle are
+        # dominated on sight, keeping frontiers near their final size.  At
+        # ``bound = 0`` the rule degenerates to coordinate-wise domination,
+        # which preserves cycle ratios exactly; together these make the
+        # final ``bound`` the exact recurrence bound, with no numeric
+        # binary search at all.
+        bound = 0
         table: list[list[list[tuple[int, int]]]] = [
             [[] for _ in range(n)] for _ in range(n)
         ]
-        for src, dst, delay, omega in _local_edges(self.nodes, edges):
-            _insert(table[src][dst], delay, omega, self.s_min)
-        # Floyd-Warshall over Pareto frontiers.  With s_min at least the
-        # component's recurrence bound, cycle-augmented costs are dominated,
-        # so a single k-sweep reaches the closure just as in the scalar case.
+        for src, dst, delay, omega in local_edges:
+            if _insert(table[src][dst], delay, omega, bound, p_cap) \
+                    and src == dst and delay > 0:
+                if omega == 0:
+                    raise CyclicDependenceError(
+                        "dependence cycle with zero iteration difference"
+                        " and positive delay"
+                    )
+                bound = max(bound, _ceil_div(delay, omega))
         for k in range(n):
+            row_k = table[k]
             for i in range(n):
-                if not table[i][k]:
+                through = table[i][k]
+                if not through:
                     continue
+                row_i = table[i]
                 for j in range(n):
-                    if not table[k][j]:
+                    half = row_k[j]
+                    if not half:
                         continue
-                    cell = table[i][j]
-                    for d1, p1 in table[i][k]:
-                        for d2, p2 in table[k][j]:
-                            _insert(cell, d1 + d2, p1 + p2, self.s_min)
+                    cell = row_i[j]
+                    # Guard against mutating a list being iterated when a
+                    # cell participates in its own relaxation (k on the
+                    # i->j diagonal).
+                    left = list(through) if cell is through else through
+                    right = list(half) if cell is half else half
+                    if i == j:
+                        for d1, p1 in left:
+                            for d2, p2 in right:
+                                d, p = d1 + d2, p1 + p2
+                                if _insert(cell, d, p, bound, p_cap) and d > 0:
+                                    if p == 0:
+                                        raise CyclicDependenceError(
+                                            "dependence cycle with zero"
+                                            " iteration difference and"
+                                            " positive delay"
+                                        )
+                                    bound = max(bound, _ceil_div(d, p))
+                    else:
+                        for d1, p1 in left:
+                            for d2, p2 in right:
+                                _insert(cell, d1 + d2, p1 + p2, bound, p_cap)
         self._table = table
+        self.recurrence_bound = bound
+        self.s_min = max(1, bound if s_min is None else s_min)
+        self._reprune()
+        self._dense: dict[int, list[list[float]]] = {}
+
+    def _reprune(self) -> None:
+        """Shrink every frontier to the value rule at ``self.s_min`` (pairs
+        arrive sorted by omega, so in-order reinsertion preserves the
+        invariant)."""
+        s_min = self.s_min
+        for row in self._table:
+            for cell in row:
+                if len(cell) < 2:
+                    continue
+                pruned: list[tuple[int, int]] = []
+                for d, p in cell:
+                    _insert(pruned, d, p, s_min)
+                cell[:] = pruned
 
     def frontier(self, src: DepNode, dst: DepNode) -> Frontier:
         return tuple(self._table[self.local[src.index]][self.local[dst.index]])
 
-    def evaluate(self, src: DepNode, dst: DepNode, s: int) -> float:
-        """Longest path length src -> dst at initiation interval ``s``."""
+    def dense(self, s: int) -> list[list[float]]:
+        """The longest-path matrix at initiation interval ``s`` in local
+        node order, materialized on first use and cached per ``s``.
+
+        The scheduler's inner loop touches O(n^2) entries per attempt, so
+        after the one-time materialization every lookup is a flat array
+        index instead of a frontier scan.
+        """
         if s < self.s_min:
             raise ValueError(f"s={s} below the symbolic validity bound {self.s_min}")
-        cell = self._table[self.local[src.index]][self.local[dst.index]]
-        if not cell:
-            return NEG_INF
-        return max(d - s * p for d, p in cell)
+        cached = self._dense.get(s)
+        if cached is not None:
+            obs.count("dense_cache_hits")
+            return cached
+        obs.count("dense_cache_misses")
+        matrix = [
+            [
+                max(d - s * p for d, p in cell) if cell else NEG_INF
+                for cell in row
+            ]
+            for row in self._table
+        ]
+        self._dense[s] = matrix
+        return matrix
+
+    def evaluate(self, src: DepNode, dst: DepNode, s: int) -> float:
+        """Longest path length src -> dst at initiation interval ``s``."""
+        return self.dense(s)[self.local[src.index]][self.local[dst.index]]

@@ -1,0 +1,23 @@
+"""Seeded scheduler microbenchmarks behind ``python -m repro bench``.
+
+Everything is derived from fixed seeds (the generators in
+:mod:`repro.audit.generate` and the 72-program synthetic suite), so two
+runs on the same machine measure the same work and a committed
+``BENCH_scheduler.json`` baseline stays comparable across sessions.
+"""
+
+from repro.perf.bench import (
+    BenchReport,
+    compare_reports,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "BenchReport",
+    "compare_reports",
+    "load_report",
+    "run_benchmarks",
+    "write_report",
+]

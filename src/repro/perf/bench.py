@@ -1,0 +1,330 @@
+"""The scheduler microbenchmark suite.
+
+Four benchmarks, all seeded and deterministic in the work they measure:
+
+``closure``
+    The fused symbolic-closure recurrence bound against the numeric
+    binary-search baseline it replaced, over a corpus of random strongly
+    connected components.  The two are also cross-checked for equality on
+    every component, so the benchmark doubles as a differential test.
+``scheduler``
+    End-to-end modulo scheduling of random dependence graphs: wall time,
+    the observability layer's counter deltas (II attempts, SCC schedules,
+    dense-cache hits/misses), and achieved-II-versus-MII gaps.
+``suite``
+    Serial batch compilation of the synthetic 72-loop suite through
+    ``compile_many`` — the closest thing to the paper's workload.
+``backends``
+    The fuzz campaign under the thread pool versus the process pool at
+    the same job count.  Pure-Python compilation holds the GIL, so the
+    speedup is a property of the machine's core count (reported as
+    ``cpu_count``); on a single core the process pool can only add
+    overhead.
+
+Every benchmark reports ``per_unit_seconds`` — wall time divided by the
+number of units processed — except ``backends``, whose speedup is
+machine-dependent and therefore excluded from regression comparison.
+:func:`compare_reports` flags a benchmark whose per-unit time exceeds
+twice the baseline's (plus a small absolute floor to ignore
+microsecond-scale jitter).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.audit.fuzz import run_campaign
+from repro.audit.generate import GraphConfig, random_dep_graph
+from repro.batch.driver import compile_many
+from repro.core.mii import component_internal_edges
+from repro.core.pipeliner import ModuloScheduler
+from repro.core.schedule import SchedulingFailure
+from repro.deps.paths import SymbolicPaths, numeric_recurrence_bound
+from repro.deps.scc import strongly_connected_components
+from repro.machine import WARP
+from repro.obs import trace as obs
+from repro.workloads import generate_suite
+
+#: Bumped when the report schema changes incompatibly.
+REPORT_VERSION = 1
+
+#: Per-unit slack added to the 2x regression threshold so that
+#: microsecond-scale benchmarks do not trip on scheduler jitter.
+ABSOLUTE_FLOOR_SECONDS = 1e-4
+
+REGRESSION_FACTOR = 2.0
+
+
+@dataclass
+class BenchReport:
+    """One run of the benchmark suite."""
+
+    quick: bool
+    jobs: int
+    cpu_count: int
+    benchmarks: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "cpu_count": self.cpu_count,
+            "benchmarks": self.benchmarks,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"bench ({'quick' if self.quick else 'full'},"
+            f" {self.cpu_count} cpus)"
+        ]
+        closure = self.benchmarks.get("closure")
+        if closure:
+            lines.append(
+                f"  closure: {closure['units']} SCCs,"
+                f" fused {closure['wall_seconds'] * 1e3:.1f} ms vs"
+                f" numeric {closure['numeric_seconds'] * 1e3:.1f} ms"
+                f" ({closure['speedup_vs_numeric']:.1f}x)"
+            )
+        sched = self.benchmarks.get("scheduler")
+        if sched:
+            gaps = sched["ii_gaps"]
+            lines.append(
+                f"  scheduler: {sched['units']} graphs in"
+                f" {sched['wall_seconds'] * 1e3:.1f} ms,"
+                f" {gaps['at_mii_fraction']:.0%} at MII"
+                f" (mean gap {gaps['mean_gap']:.2f})"
+            )
+        suite = self.benchmarks.get("suite")
+        if suite:
+            lines.append(
+                f"  suite: {suite['units']} programs in"
+                f" {suite['wall_seconds'] * 1e3:.1f} ms"
+                f" ({suite['per_unit_seconds'] * 1e3:.1f} ms/program)"
+            )
+        backends = self.benchmarks.get("backends")
+        if backends:
+            lines.append(
+                f"  backends: {backends['units']} fuzz cases at"
+                f" jobs={backends['jobs']}: thread"
+                f" {backends['thread_seconds'] * 1e3:.0f} ms, process"
+                f" {backends['process_seconds'] * 1e3:.0f} ms"
+                f" ({backends['process_speedup']:.2f}x)"
+            )
+        return "\n".join(lines)
+
+
+# -- individual benchmarks -----------------------------------------------------
+
+#: Denser than the fuzzing default so most graphs contain nontrivial
+#: strongly connected components to exercise the closure.
+_CLOSURE_CONFIG = GraphConfig(min_nodes=5, max_nodes=12, scc_density=0.5)
+
+
+def _scc_corpus(seed: int, graphs: int) -> list[tuple[list, list]]:
+    """(component, internal edges) pairs from seeded random graphs,
+    restricted to components that can carry a recurrence."""
+    corpus = []
+    for i in range(graphs):
+        graph = random_dep_graph(seed + i, WARP, _CLOSURE_CONFIG)
+        components = strongly_connected_components(graph)
+        for component, internal in zip(
+            components, component_internal_edges(graph, components)
+        ):
+            if internal:
+                corpus.append((component, internal))
+    return corpus
+
+
+def bench_closure(seed: int, graphs: int) -> dict[str, Any]:
+    """Fused symbolic recurrence bound vs. the numeric binary search."""
+    corpus = _scc_corpus(seed, graphs)
+
+    t0 = time.perf_counter()
+    numeric = [
+        numeric_recurrence_bound(component, edges)
+        for component, edges in corpus
+    ]
+    numeric_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fused = [
+        SymbolicPaths(component, edges).recurrence_bound
+        for component, edges in corpus
+    ]
+    fused_seconds = time.perf_counter() - t0
+
+    mismatches = sum(1 for a, b in zip(numeric, fused) if a != b)
+    return {
+        "units": len(corpus),
+        "wall_seconds": round(fused_seconds, 6),
+        "per_unit_seconds": round(fused_seconds / max(1, len(corpus)), 9),
+        "numeric_seconds": round(numeric_seconds, 6),
+        "speedup_vs_numeric": round(
+            numeric_seconds / fused_seconds if fused_seconds else 0.0, 3
+        ),
+        "mismatches": mismatches,
+    }
+
+
+#: Scheduler-bench graphs: the fuzzing default, slightly larger.
+_SCHED_CONFIG = GraphConfig(min_nodes=4, max_nodes=10, scc_density=0.35)
+
+#: Observability counters worth tracking across sessions.
+_SCHED_COUNTERS = (
+    "ii_attempts",
+    "sccs",
+    "scc_schedules",
+    "backtracks",
+    "dense_cache_hits",
+    "dense_cache_misses",
+)
+
+
+def bench_scheduler(seed: int, graphs: int) -> dict[str, Any]:
+    """End-to-end modulo scheduling: wall time, counters, II gaps."""
+    inputs = [
+        random_dep_graph(seed + i, WARP, _SCHED_CONFIG)
+        for i in range(graphs)
+    ]
+    scheduler = ModuloScheduler(WARP)
+    counters = {name: 0 for name in _SCHED_COUNTERS}
+    gaps: list[int] = []
+    declines = 0
+
+    t0 = time.perf_counter()
+    for graph in inputs:
+        with obs.observe() as observer:
+            try:
+                result = scheduler.schedule(graph)
+            except SchedulingFailure:
+                declines += 1
+            else:
+                gaps.append(result.schedule.ii - result.schedule.mii.mii)
+        for name in _SCHED_COUNTERS:
+            counters[name] += observer.counters.get(name, 0)
+    wall = time.perf_counter() - t0
+
+    return {
+        "units": graphs,
+        "wall_seconds": round(wall, 6),
+        "per_unit_seconds": round(wall / max(1, graphs), 9),
+        "scheduled": len(gaps),
+        "declines": declines,
+        "counters": counters,
+        "ii_gaps": {
+            "at_mii_fraction": round(
+                sum(1 for g in gaps if g == 0) / max(1, len(gaps)), 4
+            ),
+            "mean_gap": round(sum(gaps) / max(1, len(gaps)), 4),
+            "max_gap": max(gaps, default=0),
+        },
+    }
+
+
+def bench_suite(count: int) -> dict[str, Any]:
+    """Serial batch compilation of the synthetic suite (no cache, so the
+    measured work is the compiler, not the pickle layer)."""
+    programs = generate_suite()[:count]
+    report = compile_many(programs, WARP, jobs=1)
+    return {
+        "units": len(report.results),
+        "wall_seconds": round(report.wall_seconds, 6),
+        "per_unit_seconds": round(
+            report.wall_seconds / max(1, len(report.results)), 9
+        ),
+        "errors": len(report.errors),
+    }
+
+
+def bench_backends(seed: int, count: int, graphs: int, jobs: int) -> dict[str, Any]:
+    """The fuzz campaign under both pool backends at the same job count."""
+    thread = run_campaign(
+        seed=seed, count=count, graphs=graphs, jobs=jobs, backend="thread"
+    )
+    process = run_campaign(
+        seed=seed, count=count, graphs=graphs, jobs=jobs, backend="process"
+    )
+    return {
+        "units": len(thread.results),
+        "jobs": jobs,
+        "thread_seconds": round(thread.wall_seconds, 6),
+        "process_seconds": round(process.wall_seconds, 6),
+        "process_speedup": round(
+            thread.wall_seconds / process.wall_seconds
+            if process.wall_seconds else 0.0,
+            3,
+        ),
+        "failures": len(thread.failures) + len(process.failures),
+    }
+
+
+# -- the suite -----------------------------------------------------------------
+
+
+def run_benchmarks(
+    *, quick: bool = False, jobs: int = 4, seed: int = 2024
+) -> BenchReport:
+    """Run all four benchmarks; ``quick`` shrinks the corpora for CI."""
+    report = BenchReport(
+        quick=quick, jobs=jobs, cpu_count=os.cpu_count() or 1
+    )
+    closure_graphs = 80 if quick else 400
+    sched_graphs = 40 if quick else 200
+    suite_count = 18 if quick else 72
+    fuzz_count, fuzz_graphs = (12, 4) if quick else (48, 12)
+
+    report.benchmarks["closure"] = bench_closure(seed, closure_graphs)
+    report.benchmarks["scheduler"] = bench_scheduler(seed, sched_graphs)
+    report.benchmarks["suite"] = bench_suite(suite_count)
+    report.benchmarks["backends"] = bench_backends(
+        seed, fuzz_count, fuzz_graphs, jobs
+    )
+    return report
+
+
+# -- persistence and comparison ------------------------------------------------
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_reports(
+    baseline_path: str, current: BenchReport
+) -> list[str]:
+    """Regression lines, one per benchmark whose per-unit time exceeds
+    ``REGRESSION_FACTOR`` times the baseline's (plus the absolute floor).
+
+    Only benchmarks reporting ``per_unit_seconds`` participate, so the
+    machine-dependent backend speedup never fails a run.  Per-unit times
+    are compared (rather than wall times) so a ``--quick`` run remains
+    comparable against a full-size committed baseline.
+    """
+    baseline = load_report(baseline_path)
+    regressions: list[str] = []
+    for name, entry in current.benchmarks.items():
+        per_unit: Optional[float] = entry.get("per_unit_seconds")
+        base_entry = baseline.get("benchmarks", {}).get(name, {})
+        base_per_unit: Optional[float] = base_entry.get("per_unit_seconds")
+        if per_unit is None or base_per_unit is None:
+            continue
+        limit = REGRESSION_FACTOR * base_per_unit + ABSOLUTE_FLOOR_SECONDS
+        if per_unit > limit:
+            regressions.append(
+                f"{name}: {per_unit * 1e3:.3f} ms/unit vs baseline"
+                f" {base_per_unit * 1e3:.3f} ms/unit"
+                f" (limit {limit * 1e3:.3f} ms/unit)"
+            )
+    return regressions

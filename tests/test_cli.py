@@ -67,3 +67,24 @@ class TestCli:
     def test_bad_command_rejected(self, source_file):
         with pytest.raises(SystemExit):
             main(["optimize", source_file])
+
+
+class TestBatchSubcommands:
+    def test_suite_process_backend(self, capsys):
+        assert main(["suite", "--count", "4", "--jobs", "2",
+                     "--backend", "process"]) == 0
+        assert "4/4 programs compiled" in capsys.readouterr().out
+
+    def test_fuzz_process_backend(self, capsys):
+        assert main(["fuzz", "--count", "3", "--graphs", "1",
+                     "--jobs", "2", "--backend", "process"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_bench_quick_writes_and_compares(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_scheduler.json"
+        assert main(["bench", "--quick", "--jobs", "2",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["bench", "--quick", "--jobs", "2",
+                     "--compare", str(out)]) == 0
+        assert "closure" in capsys.readouterr().out

@@ -177,3 +177,129 @@ class TestSymbolicPaths:
                     for j in range(count):
                         assert symbolic.evaluate(nodes[i], nodes[j], s) == \
                             concrete[i][j], (trial, s, i, j)
+
+
+class TestFrontierInvariant:
+    """Frontiers are kept sorted by omega; survivors are additionally
+    strictly increasing in delay and in value at ``s_min`` (anything else
+    would be dominated)."""
+
+    def _assert_sorted(self, paths):
+        for src in paths.nodes:
+            for dst in paths.nodes:
+                cell = paths.frontier(src, dst)
+                omegas = [p for _, p in cell]
+                delays = [d for d, _ in cell]
+                values = [d - paths.s_min * p for d, p in cell]
+                assert omegas == sorted(omegas) and len(set(omegas)) == len(omegas)
+                assert delays == sorted(delays) and len(set(delays)) == len(delays)
+                assert values == sorted(values) and len(set(values)) == len(values)
+
+    def test_hand_built_component(self):
+        nodes = _nodes(3)
+        edges = [
+            _E(nodes[0], nodes[1], 2, 0),
+            _E(nodes[1], nodes[2], 3, 0),
+            _E(nodes[2], nodes[0], 1, 2),
+            _E(nodes[1], nodes[0], 1, 1),
+        ]
+        self._assert_sorted(SymbolicPaths(nodes, edges))
+
+    def test_randomised_components(self):
+        rng = random.Random(11)
+        for _ in range(40):
+            count = rng.randrange(2, 7)
+            nodes = _nodes(count)
+            edges = [
+                _E(nodes[i], nodes[(i + 1) % count],
+                   rng.randrange(0, 8), 1 if (i + 1) % count == 0 else 0)
+                for i in range(count)
+            ]
+            for _ in range(rng.randrange(0, 2 * count)):
+                a, b = rng.randrange(count), rng.randrange(count)
+                edges.append(
+                    _E(nodes[a], nodes[b], rng.randrange(-3, 9),
+                       rng.randrange(0, 3))
+                )
+            try:
+                paths = SymbolicPaths(nodes, edges)
+            except CyclicDependenceError:
+                continue
+            self._assert_sorted(paths)
+
+
+class TestDenseCache:
+    def _paths(self):
+        nodes = _nodes(2)
+        edges = [
+            _E(nodes[0], nodes[1], 3, 0),
+            _E(nodes[1], nodes[0], 2, 1),
+        ]
+        return SymbolicPaths(nodes, edges)
+
+    def test_repeated_queries_hit(self):
+        from repro.obs import trace as obs
+
+        paths = self._paths()
+        with obs.observe() as observer:
+            first = paths.dense(paths.s_min)
+            again = paths.dense(paths.s_min)
+        assert again is first
+        assert observer.counters["dense_cache_misses"] == 1
+        assert observer.counters["dense_cache_hits"] == 1
+
+    def test_distinct_intervals_are_distinct_entries(self):
+        from repro.obs import trace as obs
+
+        paths = self._paths()
+        with obs.observe() as observer:
+            paths.dense(paths.s_min)
+            paths.dense(paths.s_min + 1)
+            paths.dense(paths.s_min)
+            paths.dense(paths.s_min + 1)
+        assert observer.counters["dense_cache_misses"] == 2
+        assert observer.counters["dense_cache_hits"] == 2
+
+    def test_below_s_min_rejected(self):
+        paths = self._paths()
+        with pytest.raises(ValueError):
+            paths.dense(paths.s_min - 1)
+
+
+class TestFusedRecurrenceEquivalence:
+    """The closure's fused recurrence bound must agree with the numeric
+    binary search it replaced, per component and through compute_mii."""
+
+    def test_property_fused_equals_numeric(self):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        from repro.audit.generate import GraphConfig, random_dep_graph
+        from repro.core.mii import component_internal_edges, compute_mii
+        from repro.deps.paths import numeric_recurrence_bound
+        from repro.deps.scc import strongly_connected_components
+        from repro.machine import WARP
+
+        config = GraphConfig(min_nodes=4, max_nodes=10, scc_density=0.45)
+
+        @settings(
+            max_examples=40,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(seed=st.integers(min_value=0, max_value=100_000))
+        def check(seed):
+            graph = random_dep_graph(seed, WARP, config)
+            components = strongly_connected_components(graph)
+            expected = 0
+            for component, internal in zip(
+                components, component_internal_edges(graph, components)
+            ):
+                if not internal:
+                    continue
+                fused = SymbolicPaths(component, internal).recurrence_bound
+                assert fused == numeric_recurrence_bound(component, internal)
+                expected = max(expected, fused)
+            assert compute_mii(graph, WARP).recurrence == expected
+
+        check()
