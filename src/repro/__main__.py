@@ -28,6 +28,7 @@ import json
 import sys
 
 from repro import SIMPLE, WARP, CompilerPolicy
+from repro.core.pipeliner import SCHEDULER_BACKENDS
 from repro.batch import ScheduleCache, compile_many, compile_one
 from repro.core.display import disassemble
 from repro.frontend import parse_program
@@ -43,6 +44,9 @@ def _policy(args: argparse.Namespace) -> CompilerPolicy:
         pipeline=not args.no_pipeline,
         search=args.search,
         cse=not args.no_cse,
+        scheduler_backend=args.scheduler_backend,
+        exact_max_nodes=args.exact_max_nodes,
+        exact_max_conflicts=args.exact_max_conflicts,
     )
 
 
@@ -67,6 +71,23 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--search", choices=["linear", "binary"], default="linear",
         help="initiation-interval search strategy",
+    )
+    common.add_argument(
+        "--scheduler-backend", choices=sorted(SCHEDULER_BACKENDS),
+        default="heuristic",
+        help="modulo scheduler: Lam's heuristic, or the exact SAT backend"
+             " (provably minimum II on small loops, heuristic fallback"
+             " beyond its budget)",
+    )
+    common.add_argument(
+        "--exact-max-nodes", type=int, default=24, metavar="N",
+        help="exact backend size budget: loops beyond N dependence nodes"
+             " fall back to the heuristic (default: 24)",
+    )
+    common.add_argument(
+        "--exact-max-conflicts", type=int, default=20_000, metavar="N",
+        help="exact backend effort budget: solver conflicts per interval"
+             " before giving up (default: 20000)",
     )
     stats = argparse.ArgumentParser(add_help=False)
     stats.add_argument(
@@ -139,6 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="dump the campaign's JSON violation/counter breakdown",
     )
+    fuzz.add_argument(
+        "--optimality", action="store_true",
+        help="cross-check every graph case against the exact SAT backend:"
+             " classify heuristic IIs as optimal/gap and declines as"
+             " confirmed/missed",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -200,6 +227,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         backend=args.backend,
         machine=MACHINES[args.machine],
         policy=_policy(args),
+        optimality=args.optimality,
     )
     print(report.summary())
     for result in report.failures:

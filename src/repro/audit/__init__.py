@@ -34,6 +34,7 @@ bug classes get a regression corpus entry under ``tests/corpus/``.
 
 from repro.audit.differential import audit_program
 from repro.audit.fuzz import FuzzReport, run_campaign
+from repro.audit.optimality import OptimalityReport, audit_optimality
 from repro.audit.generate import (
     GraphConfig,
     ProgramConfig,
@@ -53,10 +54,12 @@ from repro.audit.oracle import (
 __all__ = [
     "FuzzReport",
     "GraphConfig",
+    "OptimalityReport",
     "ProgramConfig",
     "Violation",
     "audit_expansion",
     "audit_modulo_resources",
+    "audit_optimality",
     "audit_precedence",
     "audit_program",
     "audit_result",

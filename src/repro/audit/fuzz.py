@@ -31,7 +31,7 @@ from repro.audit.generate import (
 from repro.audit.oracle import Violation, audit_result
 from repro.batch.driver import run_many
 from repro.core.compile import CompilerPolicy
-from repro.core.pipeliner import ModuloScheduler
+from repro.core.pipeliner import create_scheduler
 from repro.core.schedule import SchedulingFailure
 from repro.machine import WARP
 from repro.machine.description import MachineDescription
@@ -128,6 +128,19 @@ class FuzzReport:
         pressure = counters.get("audit_register_declines", 0)
         if pressure:
             parts.insert(3, f"{pressure} register-pressure declines")
+        checks = counters.get("optimality_checks", 0)
+        if checks:
+            parts.insert(
+                3,
+                f"{checks} optimality checks"
+                f" ({counters.get('optimality_optimal', 0)} optimal,"
+                f" {counters.get('optimality_gap', 0)} gaps,"
+                f" {counters.get('optimality_decline_confirmed', 0)} declines"
+                f" confirmed,"
+                f" {counters.get('optimality_decline_missed', 0)} declines"
+                f" missed,"
+                f" {counters.get('optimality_budget', 0)} budget)",
+            )
         return ", ".join(parts)
 
 
@@ -135,14 +148,30 @@ def run_graph_case(
     seed: int,
     machine: MachineDescription,
     config: GraphConfig = GraphConfig(),
+    *,
+    scheduler_backend: str = "heuristic",
+    optimality: bool = False,
 ) -> list[Violation]:
     """Schedule one random dependence graph and audit the result.
 
     A :class:`SchedulingFailure` is a decline, not a violation: the
     heuristic is allowed to give up, just never to emit a wrong schedule.
+    With ``optimality=True`` the case additionally runs the
+    :func:`repro.audit.optimality.audit_optimality` cross-check, which
+    classifies the heuristic outcome against the exact backend's
+    certificate (and whose contradictions *are* violations).
     """
     graph = random_dep_graph(seed, machine, config)
-    scheduler = ModuloScheduler(machine)
+    if optimality:
+        from repro.audit.optimality import audit_optimality
+
+        report = audit_optimality(graph, machine)
+        if report.heuristic_ii is None:
+            obs.count("audit_scheduler_declines")
+        else:
+            obs.count("audit_loops_scheduled")
+        return report.violations
+    scheduler = create_scheduler(machine, backend=scheduler_backend)
     try:
         result = scheduler.schedule(graph)
     except SchedulingFailure:
@@ -158,6 +187,7 @@ def run_case(
     policy: CompilerPolicy = CompilerPolicy(),
     program_config: ProgramConfig = ProgramConfig(),
     graph_config: GraphConfig = GraphConfig(),
+    optimality: bool = False,
 ) -> CaseResult:
     """Run one case with fault isolation and a private observer."""
     t0 = time.perf_counter()
@@ -171,7 +201,9 @@ def run_case(
                 )
             else:
                 result.violations = run_graph_case(
-                    case.seed, machine, graph_config
+                    case.seed, machine, graph_config,
+                    scheduler_backend=policy.scheduler_backend,
+                    optimality=optimality,
                 )
         except Exception:
             result.error = traceback.format_exc(limit=6)
@@ -191,6 +223,7 @@ def run_campaign(
     policy: CompilerPolicy = CompilerPolicy(),
     program_config: ProgramConfig = ProgramConfig(),
     graph_config: GraphConfig = GraphConfig(),
+    optimality: bool = False,
 ) -> FuzzReport:
     """Run ``count`` program cases and ``graphs`` graph cases (default
     ``count // 4``), derived from consecutive seeds so any single case is
@@ -200,6 +233,9 @@ def run_campaign(
     is pure Python and CPU-bound, so that is where ``jobs > 1`` actually
     buys wall time.  The worker is a :func:`functools.partial` over the
     module-level :func:`run_case` so it pickles cleanly.
+
+    ``optimality=True`` upgrades every graph case to the heuristic-vs-exact
+    cross-check of :mod:`repro.audit.optimality`.
     """
     if graphs is None:
         graphs = count // 4
@@ -212,6 +248,7 @@ def run_campaign(
         policy=policy,
         program_config=program_config,
         graph_config=graph_config,
+        optimality=optimality,
     )
     results = run_many(cases, worker, jobs=jobs, backend=backend)
     return FuzzReport(

@@ -47,7 +47,7 @@ from repro.core.emit import (
 )
 from repro.core.listsched import list_schedule_block
 from repro.core.mve import MIN_UNROLL, ExpansionPlan, plan_expansion
-from repro.core.pipeliner import ModuloScheduler, PipelinerPolicy
+from repro.core.pipeliner import PipelinerPolicy, create_scheduler
 from repro.core.reduction import (
     _reduce_stmt,
     build_reduced_loop_graph,
@@ -82,6 +82,13 @@ class CompilerPolicy:
     #: Use the two-version scheme of section 2.4 for loops whose trip
     #: count is only known at run time.
     dynamic_pipeline: bool = True
+    #: Which :data:`~repro.core.pipeliner.SCHEDULER_BACKENDS` member
+    #: pipelines the loops: Lam's heuristic, or the exact SAT backend
+    #: (which falls back to the heuristic beyond its budget).
+    scheduler_backend: str = "heuristic"
+    #: Budget knobs for the exact backend; ignored by the heuristic.
+    exact_max_nodes: int = 24
+    exact_max_conflicts: int = 20_000
 
 
 @dataclass
@@ -108,6 +115,8 @@ class LoopReport:
     has_recurrence: bool = False
     #: True when the loop was emitted with the runtime two-version scheme.
     two_version: bool = False
+    #: Which scheduler backend produced (or declined) the kernel.
+    backend: str = "heuristic"
 
     @property
     def achieved_lower_bound(self) -> bool:
@@ -365,6 +374,7 @@ class _Compiler:
             stage_count=report.stage_count,
             unpipelined_length=report.unpipelined_length,
             reason=report.reason,
+            backend=report.backend,
         )
         return regions
 
@@ -395,10 +405,21 @@ class _Compiler:
         # upper bound" (section 2.2): beyond it the unpipelined loop is at
         # least as good, so the search never looks past it.
         cap = policy.max_ii or max(report.unpipelined_length, 2)
-        scheduler = ModuloScheduler(
+        exact_budget = None
+        if policy.scheduler_backend == "exact":
+            from repro.exact import ExactBudget
+
+            exact_budget = ExactBudget(
+                max_nodes=policy.exact_max_nodes,
+                max_conflicts=policy.exact_max_conflicts,
+            )
+        scheduler = create_scheduler(
             self.machine,
             PipelinerPolicy(search=policy.search, max_ii=cap),
+            backend=policy.scheduler_backend,
+            exact_budget=exact_budget,
         )
+        report.backend = scheduler.name
         try:
             result = scheduler.schedule(lg.graph)
         except SchedulingFailure as failure:

@@ -26,7 +26,7 @@ loop-back branch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 from repro.obs import trace as obs
 from repro.core.acyclic import ItemEdge, SchedItem, modulo_schedule_dag
@@ -116,8 +116,83 @@ class PreparedGraph:
         return sum(1 for paths in self.paths if paths is not None)
 
 
+@runtime_checkable
+class SchedulerBackend(Protocol):
+    """What the compiler needs from a modulo scheduler.
+
+    Implementations: :class:`ModuloScheduler` (Lam's heuristic, the
+    default) and :class:`repro.exact.ExactScheduler` (SAT-based exact
+    minimum-II search).  ``name`` identifies the backend in reports and
+    CLI flags; :meth:`schedule` raises
+    :class:`~repro.core.schedule.SchedulingFailure` on a decline and
+    :meth:`schedule_at` returns ``None`` when one specific interval is
+    unschedulable.
+    """
+
+    name: str
+    machine: MachineDescription
+    policy: PipelinerPolicy
+
+    def schedule(self, graph: DepGraph) -> PipelineResult:
+        ...
+
+    def schedule_at(self, graph: DepGraph, s: int) -> Optional[PipelineResult]:
+        ...
+
+
+#: Registered backend names accepted by :func:`create_scheduler` and the
+#: ``--scheduler-backend`` CLI option.
+SCHEDULER_BACKENDS = ("heuristic", "exact")
+
+
+def create_scheduler(
+    machine: MachineDescription,
+    policy: PipelinerPolicy = PipelinerPolicy(),
+    *,
+    backend: str = "heuristic",
+    exact_budget=None,
+    exact_fallback: bool = True,
+) -> SchedulerBackend:
+    """Build a scheduler backend by name.
+
+    The exact backend is imported lazily: :mod:`repro.exact` depends on
+    this module, and the heuristic path should not pay for the import.
+    ``exact_budget`` is an :class:`repro.exact.ExactBudget` (``None`` for
+    the defaults); ``exact_fallback`` controls whether budget blowouts
+    fall back to the heuristic or raise.
+    """
+    if backend == "heuristic":
+        return ModuloScheduler(machine, policy)
+    if backend == "exact":
+        from repro.exact import ExactBudget, ExactScheduler
+
+        return ExactScheduler(
+            machine,
+            policy,
+            budget=exact_budget or ExactBudget(),
+            fallback=exact_fallback,
+        )
+    raise ValueError(
+        f"unknown scheduler backend {backend!r};"
+        f" expected one of {SCHEDULER_BACKENDS}"
+    )
+
+
+#: How many prepared graphs one scheduler instance keeps alive.  Campaign
+#: drivers reuse a scheduler across hundreds of graphs; the cache exists
+#: to share closures *within* one graph's lifecycle (search, re-probe,
+#: exact cross-check), not to hold the whole campaign in memory.
+_PREPARED_CACHE_LIMIT = 8
+
+
 class ModuloScheduler:
-    """Software-pipelines dependence graphs for one machine."""
+    """Software-pipelines dependence graphs for one machine.
+
+    This is the heuristic backend: Lam's SCC-condensation list scheduler
+    driven by the iterative interval search.
+    """
+
+    name = "heuristic"
 
     def __init__(
         self,
@@ -126,19 +201,41 @@ class ModuloScheduler:
     ) -> None:
         self.machine = machine
         self.policy = policy
+        # id(graph) -> (graph, prepared, mii).  The strong graph reference
+        # keeps the id from being recycled while the entry is alive.
+        self._prepared: dict[int, tuple[DepGraph, PreparedGraph, MiiReport]] = {}
 
     # -- public API ----------------------------------------------------------
+
+    def prepare(self, graph: DepGraph) -> tuple[PreparedGraph, MiiReport]:
+        """The graph's interval-independent state and its MII bounds,
+        memoized per graph object.
+
+        Sharing matters beyond avoiding rework: every consumer of the same
+        :class:`PreparedGraph` queries the same symbolic closures, so their
+        per-interval dense matrices are materialized once and then hit —
+        e.g. an exact-backend cross-check at the heuristic's chosen
+        interval reuses the matrices the search already built.
+        """
+        cached = self._prepared.get(id(graph))
+        if cached is not None and cached[0] is graph:
+            return cached[1], cached[2]
+        with obs.phase("mii"):
+            prepared = self._prepare_components(graph, condensation_order(graph))
+            mii = self._mii_report(graph, prepared)
+        if len(self._prepared) >= _PREPARED_CACHE_LIMIT:
+            self._prepared.pop(next(iter(self._prepared)))
+        self._prepared[id(graph)] = (graph, prepared, mii)
+        return prepared, mii
 
     def schedule(self, graph: DepGraph) -> PipelineResult:
         """Find the smallest schedulable initiation interval.
 
         Raises :class:`SchedulingFailure` if none is found below the cap.
         """
-        with obs.phase("mii"):
-            prepared = self._prepare_components(graph, condensation_order(graph))
-            mii = self._mii_report(graph, prepared)
+        prepared, mii = self.prepare(graph)
         obs.count("sccs", prepared.scc_count)
-        max_ii = self.policy.max_ii or self._default_cap(graph)
+        max_ii = self.policy.max_ii or self.default_cap(graph)
 
         attempts: list[int] = []
         if self.policy.search == "linear":
@@ -161,8 +258,7 @@ class ModuloScheduler:
 
     def schedule_at(self, graph: DepGraph, s: int) -> Optional[PipelineResult]:
         """Attempt exactly one initiation interval (useful for testing)."""
-        prepared = self._prepare_components(graph, condensation_order(graph))
-        mii = self._mii_report(graph, prepared)
+        prepared, mii = self.prepare(graph)
         if s < mii.recurrence:
             return None
         return self._try_interval(graph, prepared, s, mii, [s])
@@ -246,7 +342,10 @@ class ModuloScheduler:
             cross_edges=cross,
         )
 
-    def _default_cap(self, graph: DepGraph) -> int:
+    def default_cap(self, graph: DepGraph) -> int:
+        """The derived interval-search ceiling used when the policy sets no
+        ``max_ii``: an interval the acyclic list scheduler can always meet,
+        plus slack."""
         span = sum(node.length for node in graph.nodes)
         worst_delay = sum(max(0, e.delay) for e in graph.edges)
         return max(4, span + worst_delay) + 8

@@ -1,0 +1,87 @@
+"""CNF formula construction for the exact scheduling backend.
+
+A :class:`Cnf` accumulates clauses over freshly numbered variables and
+provides the one nontrivial encoding the modulo-scheduling constraints
+need: *at-most-k* over a multiset of literals, via Sinz's sequential
+counter.  The counter is linear in ``len(lits) * k`` auxiliary variables
+and clauses, and weighted contributions (an operation using two units of a
+resource in the same cycle) are expressed simply by repeating the literal.
+
+The DIMACS export exists for offline debugging with an external solver;
+nothing in the repository depends on one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class Cnf:
+    """A growing CNF formula: fresh variables plus a clause list."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self._names: dict[int, str] = {}
+
+    def new_var(self, name: str = "") -> int:
+        self.num_vars += 1
+        if name:
+            self._names[self.num_vars] = name
+        return self.num_vars
+
+    def name_of(self, var: int) -> str:
+        return self._names.get(var, f"v{var}")
+
+    def add(self, *lits: int) -> None:
+        """Add one clause (a disjunction of the given literals)."""
+        for lit in lits:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} names no allocated variable")
+        self.clauses.append(list(lits))
+
+    def add_at_most_k(self, lits: Iterable[int], k: int,
+                      name: str = "card") -> None:
+        """Constrain at most ``k`` of ``lits`` to be true (Sinz 2005).
+
+        ``lits`` is a multiset: a literal appearing ``a`` times contributes
+        ``a`` to the sum when true, which is how weighted resource usage is
+        encoded.  ``k = 0`` forces every literal false; a sum that cannot
+        exceed ``k`` adds nothing.
+        """
+        lits = list(lits)
+        if k < 0:
+            raise ValueError(f"negative cardinality bound {k}")
+        n = len(lits)
+        if n <= k:
+            return
+        if k == 0:
+            for lit in lits:
+                self.add(-lit)
+            return
+        # registers[i][j] == "at least j+1 of lits[0..i] are true".
+        registers: list[list[int]] = [
+            [self.new_var(f"{name}.s{i}.{j}") for j in range(k)]
+            for i in range(n - 1)
+        ]
+        self.add(-lits[0], registers[0][0])
+        for j in range(1, k):
+            self.add(-registers[0][j])
+        for i in range(1, n - 1):
+            self.add(-lits[i], registers[i][0])
+            self.add(-registers[i - 1][0], registers[i][0])
+            for j in range(1, k):
+                self.add(-lits[i], -registers[i - 1][j - 1], registers[i][j])
+                self.add(-registers[i - 1][j], registers[i][j])
+            self.add(-lits[i], -registers[i - 1][k - 1])
+        self.add(-lits[n - 1], -registers[n - 2][k - 1])
+
+    def to_dimacs(self, comment: Optional[str] = None) -> str:
+        lines = []
+        if comment:
+            for part in comment.splitlines():
+                lines.append(f"c {part}")
+        lines.append(f"p cnf {self.num_vars} {len(self.clauses)}")
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"

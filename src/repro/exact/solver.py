@@ -1,0 +1,323 @@
+"""A small conflict-driven clause-learning SAT solver.
+
+Vendored so the exact scheduling backend has no dependency beyond the
+standard library.  The design is the classic MiniSat recipe, sized for the
+formulas :mod:`repro.exact.encode` produces (thousands of variables, tens
+of thousands of clauses):
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with non-chronological backjumping;
+* exponential variable-activity decisions (a simplified VSIDS) with
+  phase saving;
+* geometric restarts;
+* a *conflict budget*: the solver gives up with :data:`UNKNOWN` once the
+  budget is exhausted, so a caller can bound worst-case solve time and
+  fall back to the heuristic scheduler.
+
+Literals are nonzero ints in DIMACS convention: ``v`` is variable ``v``
+true, ``-v`` is variable ``v`` false.  Variables are numbered from 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+_ACTIVITY_DECAY = 0.95
+_ACTIVITY_RESCALE = 1e100
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run.
+
+    ``model`` is only present for :data:`SAT`: a dict mapping every
+    variable to its boolean value.  The statistics are cumulative over the
+    run and feed the ``exact_*`` observability counters.
+    """
+
+    status: str
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+    def __getitem__(self, var: int) -> bool:
+        return self.model[var]
+
+
+class CdclSolver:
+    """One-shot CDCL solver over a fixed clause set."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        clauses: Sequence[Sequence[int]],
+        *,
+        max_conflicts: Optional[int] = None,
+    ) -> None:
+        self.num_vars = num_vars
+        self.max_conflicts = max_conflicts
+        # assignment[v] is 0 unassigned, +1 true, -1 false.
+        self._assign = [0] * (num_vars + 1)
+        self._level = [0] * (num_vars + 1)
+        self._reason: list[Optional[list[int]]] = [None] * (num_vars + 1)
+        self._phase = [False] * (num_vars + 1)
+        self._activity = [0.0] * (num_vars + 1)
+        self._bump = 1.0
+        self._watches: dict[int, list[list[int]]] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._clauses: list[list[int]] = []
+        self._contradiction = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        for clause in clauses:
+            self._add_clause(list(clause))
+
+    # -- construction ---------------------------------------------------------
+
+    def _add_clause(self, lits: list[int]) -> None:
+        if self._contradiction:
+            return
+        # Dedup within the clause; drop tautologies.
+        seen: dict[int, int] = {}
+        unique: list[int] = []
+        for lit in lits:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range")
+            if -lit in seen:
+                return  # x or not-x: always true
+            if lit not in seen:
+                seen[lit] = 1
+                unique.append(lit)
+        if not unique:
+            self._contradiction = True
+            return
+        if len(unique) == 1:
+            if not self._enqueue(unique[0], None):
+                self._contradiction = True
+            return
+        self._clauses.append(unique)
+        self._watch(unique[0], unique)
+        self._watch(unique[1], unique)
+
+    def _watch(self, lit: int, clause: list[int]) -> None:
+        self._watches.setdefault(lit, []).append(clause)
+
+    # -- assignment plumbing --------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """+1 satisfied, -1 falsified, 0 unassigned."""
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> bool:
+        value = self._value(lit)
+        if value > 0:
+            return True
+        if value < 0:
+            return False
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[list[int]]:
+        """Exhaust unit propagation; the falsified clause on conflict."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            kept: list[list[int]] = []
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                # Normalize: the falsified watch sits at slot 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) > 0:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) >= 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: keep the remaining watchers before leaving.
+                    kept.extend(watchers[i:])
+                    self._watches[false_lit] = kept
+                    return clause
+            self._watches[false_lit] = kept
+        return None
+
+    # -- conflict analysis ----------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._bump
+        if self._activity[var] > _ACTIVITY_RESCALE:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] /= _ACTIVITY_RESCALE
+            self._bump /= _ACTIVITY_RESCALE
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learned clause and the level to backjump to."""
+        current_level = len(self._trail_lim)
+        learned: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        reason: Optional[list[int]] = conflict
+        index = len(self._trail)
+        while True:
+            assert reason is not None
+            for other in reason:
+                if other == lit:
+                    continue
+                var = abs(other)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(other)
+            # Walk the trail backwards to the next marked literal.
+            while True:
+                index -= 1
+                lit = -self._trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[abs(lit)]
+        learned.insert(0, lit)
+        if len(learned) == 1:
+            return learned, 0
+        back = max(self._level[abs(other)] for other in learned[1:])
+        # Put a literal of the backjump level in the second watch slot.
+        for k in range(1, len(learned)):
+            if self._level[abs(learned[k])] == back:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        mark = self._trail_lim[level]
+        for lit in reversed(self._trail[mark:]):
+            var = abs(lit)
+            self._assign[var] = 0
+            self._reason[var] = None
+        del self._trail[mark:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # -- decisions ------------------------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == 0 and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        if best_var == 0:
+            return None
+        return best_var if self._phase[best_var] else -best_var
+
+    # -- the main loop --------------------------------------------------------
+
+    def solve(self) -> SolveResult:
+        if self._contradiction:
+            return self._result(UNSAT)
+        restart_limit = 128
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    return self._result(UNSAT)
+                if (
+                    self.max_conflicts is not None
+                    and self.conflicts >= self.max_conflicts
+                ):
+                    return self._result(UNKNOWN)
+                learned, back = self._analyze(conflict)
+                self._backtrack(back)
+                if len(learned) > 1:
+                    self._clauses.append(learned)
+                    self._watch(learned[0], learned)
+                    self._watch(learned[1], learned)
+                    enqueued = self._enqueue(learned[0], learned)
+                else:
+                    enqueued = self._enqueue(learned[0], None)
+                if not enqueued:
+                    return self._result(UNSAT)
+                self._bump /= _ACTIVITY_DECAY
+                continue
+            if conflicts_here >= restart_limit:
+                conflicts_here = 0
+                restart_limit = int(restart_limit * 1.5)
+                self.restarts += 1
+                self._backtrack(0)
+                continue
+            lit = self._decide()
+            if lit is None:
+                model = {
+                    var: self._assign[var] > 0
+                    for var in range(1, self.num_vars + 1)
+                }
+                return self._result(SAT, model)
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def _result(self, status: str, model: Optional[dict[int, bool]] = None
+                ) -> SolveResult:
+        return SolveResult(
+            status=status,
+            model=model or {},
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+            restarts=self.restarts,
+        )
+
+
+def solve(
+    num_vars: int,
+    clauses: Sequence[Sequence[int]],
+    *,
+    max_conflicts: Optional[int] = None,
+) -> SolveResult:
+    """One-shot convenience wrapper around :class:`CdclSolver`."""
+    return CdclSolver(num_vars, clauses, max_conflicts=max_conflicts).solve()

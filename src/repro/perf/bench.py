@@ -1,6 +1,6 @@
 """The scheduler microbenchmark suite.
 
-Four benchmarks, all seeded and deterministic in the work they measure:
+Five benchmarks, all seeded and deterministic in the work they measure:
 
 ``closure``
     The fused symbolic-closure recurrence bound against the numeric
@@ -11,6 +11,11 @@ Four benchmarks, all seeded and deterministic in the work they measure:
     End-to-end modulo scheduling of random dependence graphs: wall time,
     the observability layer's counter deltas (II attempts, SCC schedules,
     dense-cache hits/misses), and achieved-II-versus-MII gaps.
+``optimality``
+    The optimality-gap audit: every scheduler-benchmark graph through the
+    heuristic *and* the exact SAT backend, reporting how often the
+    heuristic attains the proven minimum II (the ``optimality_gap``
+    block), plus declines confirmed infeasible versus missed schedules.
 ``suite``
     Serial batch compilation of the synthetic 72-loop suite through
     ``compile_many`` — the closest thing to the paper's workload.
@@ -98,6 +103,17 @@ class BenchReport:
                 f" {sched['wall_seconds'] * 1e3:.1f} ms,"
                 f" {gaps['at_mii_fraction']:.0%} at MII"
                 f" (mean gap {gaps['mean_gap']:.2f})"
+            )
+        optimality = self.benchmarks.get("optimality")
+        if optimality:
+            gap = optimality["optimality_gap"]
+            lines.append(
+                f"  optimality: {optimality['units']} graphs,"
+                f" optimality_gap {gap['at_optimum_fraction']:.0%} at proven"
+                f" minimum (mean gap {gap['mean_gap']:.2f},"
+                f" max {gap['max_gap']},"
+                f" {gap['decline_missed']} declines missed,"
+                f" {optimality['violations']} violations)"
             )
         suite = self.benchmarks.get("suite")
         if suite:
@@ -226,6 +242,54 @@ def bench_scheduler(seed: int, graphs: int) -> dict[str, Any]:
     }
 
 
+def bench_optimality(seed: int, graphs: int) -> dict[str, Any]:
+    """The optimality-gap audit over the scheduler benchmark's corpus.
+
+    Every graph goes through :func:`repro.audit.optimality.audit_optimality`
+    (heuristic vs. the exact SAT backend); the emitted ``optimality_gap``
+    block quantifies how far the heuristic sits from the proven minima —
+    the committed baseline's ``ii_gaps`` measured against ground truth
+    instead of against MII.
+    """
+    from repro.audit.optimality import CLASSIFICATIONS, audit_optimality
+
+    inputs = [
+        random_dep_graph(seed + i, WARP, _SCHED_CONFIG)
+        for i in range(graphs)
+    ]
+    heuristic = ModuloScheduler(WARP)
+    classes = {name: 0 for name in CLASSIFICATIONS}
+    gaps: list[int] = []
+    violations = 0
+
+    t0 = time.perf_counter()
+    for graph in inputs:
+        with obs.observe():
+            report = audit_optimality(graph, WARP, heuristic=heuristic)
+        classes[report.classification] += 1
+        if report.gap:
+            gaps.append(report.gap)
+        violations += len(report.violations)
+    wall = time.perf_counter() - t0
+
+    compared = classes["optimal"] + classes["gap"]
+    return {
+        "units": graphs,
+        "wall_seconds": round(wall, 6),
+        "per_unit_seconds": round(wall / max(1, graphs), 9),
+        "violations": violations,
+        "optimality_gap": {
+            "checked": graphs - classes["budget"],
+            **classes,
+            "at_optimum_fraction": round(
+                classes["optimal"] / max(1, compared), 4
+            ),
+            "mean_gap": round(sum(gaps) / max(1, compared), 4),
+            "max_gap": max(gaps, default=0),
+        },
+    }
+
+
 def bench_suite(count: int) -> dict[str, Any]:
     """Serial batch compilation of the synthetic suite (no cache, so the
     measured work is the compiler, not the pickle layer)."""
@@ -278,8 +342,11 @@ def run_benchmarks(
     suite_count = 18 if quick else 72
     fuzz_count, fuzz_graphs = (12, 4) if quick else (48, 12)
 
+    opt_graphs = 20 if quick else 200
+
     report.benchmarks["closure"] = bench_closure(seed, closure_graphs)
     report.benchmarks["scheduler"] = bench_scheduler(seed, sched_graphs)
+    report.benchmarks["optimality"] = bench_optimality(seed, opt_graphs)
     report.benchmarks["suite"] = bench_suite(suite_count)
     report.benchmarks["backends"] = bench_backends(
         seed, fuzz_count, fuzz_graphs, jobs

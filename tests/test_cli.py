@@ -69,6 +69,57 @@ class TestCli:
             main(["optimize", source_file])
 
 
+class TestSchedulerBackendFlag:
+    def test_compile_with_exact_backend(self, source_file, capsys):
+        assert main(["compile", source_file,
+                     "--scheduler-backend", "exact", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined ii=" in out
+        assert '"backend": "exact"' in out
+        assert '"exact_sat_calls"' in out
+
+    def test_run_with_exact_backend_validates(self, source_file, capsys):
+        assert main(["run", source_file,
+                     "--scheduler-backend", "exact"]) == 0
+        assert "validated" in capsys.readouterr().out
+
+    def test_exact_size_budget_falls_back(self, source_file, capsys):
+        # A one-node budget excludes every real loop: the exact backend
+        # must hand the loop to the heuristic, not decline it.
+        assert main(["compile", source_file, "--scheduler-backend",
+                     "exact", "--exact-max-nodes", "1", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined ii=" in out
+        assert '"exact_fallbacks": 1' in out
+        assert '"backend": "exact"' in out
+
+    def test_exact_conflict_budget_flag_accepted(self, source_file, capsys):
+        assert main(["compile", source_file, "--scheduler-backend",
+                     "exact", "--exact-max-conflicts", "50"]) == 0
+        assert "pipelined ii=" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["compile", source_file, "--scheduler-backend", "ilp"])
+
+    def test_suite_with_exact_backend(self, capsys):
+        assert main(["suite", "--count", "2",
+                     "--scheduler-backend", "exact"]) == 0
+        assert "2/2 programs compiled" in capsys.readouterr().out
+
+    def test_fuzz_graph_cases_with_exact_backend(self, capsys):
+        assert main(["fuzz", "--count", "0", "--graphs", "2",
+                     "--scheduler-backend", "exact"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_fuzz_optimality_summary(self, capsys):
+        assert main(["fuzz", "--count", "0", "--graphs", "3",
+                     "--optimality"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+        assert "3 optimality checks" in out
+
+
 class TestBatchSubcommands:
     def test_suite_process_backend(self, capsys):
         assert main(["suite", "--count", "4", "--jobs", "2",

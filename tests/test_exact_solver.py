@@ -1,0 +1,229 @@
+"""The vendored CDCL solver and CNF builder behind the exact backend.
+
+The solver is trusted with optimality *certificates* (an UNSAT answer at
+interval s is the proof that s is infeasible), so it is validated against
+brute-force enumeration on every formula small enough to enumerate, plus
+the classic pigeonhole family where a wrong UNSAT engine typically breaks.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.exact import SAT, UNKNOWN, UNSAT, CdclSolver, Cnf
+from repro.exact.solver import SolveResult, solve
+
+
+def _brute_force(num_vars, clauses):
+    """Ground-truth satisfiability by enumeration (num_vars <= ~12)."""
+    for bits in itertools.product((False, True), repeat=num_vars):
+        model = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(model[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return model
+    return None
+
+
+def _check_model(clauses, model):
+    for clause in clauses:
+        assert any(model[abs(lit)] == (lit > 0) for lit in clause), (
+            f"model violates clause {clause}"
+        )
+
+
+def _pigeonhole(holes):
+    """PHP(holes+1, holes): unsatisfiable, and hard for resolution."""
+    cnf = Cnf()
+    var = {
+        (p, h): cnf.new_var(f"p{p}h{h}")
+        for p in range(holes + 1)
+        for h in range(holes)
+    }
+    for p in range(holes + 1):
+        cnf.add(*(var[p, h] for h in range(holes)))
+    for h in range(holes):
+        cnf.add_at_most_k([var[p, h] for p in range(holes + 1)], 1)
+    return cnf
+
+
+class TestCdclSolver:
+    def test_empty_formula_is_sat(self):
+        assert solve(0, []).status == SAT
+
+    def test_empty_clause_is_unsat(self):
+        assert solve(1, [[]]).status == UNSAT
+
+    def test_unit_propagation_chain(self):
+        # 1, 1->2, 2->3: pure propagation, no decisions needed.
+        result = solve(3, [[1], [-1, 2], [-2, 3]])
+        assert result.status == SAT
+        assert result[1] and result[2] and result[3]
+        assert result.decisions == 0
+
+    def test_contradictory_units(self):
+        assert solve(1, [[1], [-1]]).status == UNSAT
+
+    def test_model_indexing_matches_dict(self):
+        result = solve(2, [[1], [-2]])
+        assert result.status == SAT
+        assert result[1] is result.model[1]
+        assert result[2] is False
+
+    def test_random_formulas_match_brute_force(self):
+        """~150 random 3-SAT-ish formulas near the phase transition."""
+        rng = random.Random(1988)
+        for trial in range(150):
+            num_vars = rng.randrange(3, 9)
+            num_clauses = rng.randrange(1, int(4.5 * num_vars))
+            clauses = [
+                [
+                    lit if rng.random() < 0.5 else -lit
+                    for lit in rng.sample(
+                        range(1, num_vars + 1), rng.randrange(1, 4)
+                    )
+                ]
+                for _ in range(num_clauses)
+            ]
+            expected = _brute_force(num_vars, clauses)
+            result = solve(num_vars, clauses)
+            if expected is None:
+                assert result.status == UNSAT, f"trial {trial}: {clauses}"
+            else:
+                assert result.status == SAT, f"trial {trial}: {clauses}"
+                _check_model(clauses, result.model)
+
+    def test_pigeonhole_unsat(self):
+        cnf = _pigeonhole(4)
+        result = solve(cnf.num_vars, cnf.clauses)
+        assert result.status == UNSAT
+        assert result.conflicts > 0
+
+    def test_pigeonhole_sat_when_pigeons_fit(self):
+        # PHP with as many holes as pigeons is satisfiable.
+        cnf = Cnf()
+        var = {
+            (p, h): cnf.new_var() for p in range(4) for h in range(4)
+        }
+        for p in range(4):
+            cnf.add(*(var[p, h] for h in range(4)))
+        for h in range(4):
+            cnf.add_at_most_k([var[p, h] for p in range(4)], 1)
+        result = solve(cnf.num_vars, cnf.clauses)
+        assert result.status == SAT
+        _check_model(cnf.clauses, result.model)
+
+    def test_conflict_budget_yields_unknown(self):
+        cnf = _pigeonhole(7)
+        result = CdclSolver(
+            cnf.num_vars, cnf.clauses, max_conflicts=3
+        ).solve()
+        assert result.status == UNKNOWN
+        assert result.conflicts >= 3
+
+    def test_budget_large_enough_still_answers(self):
+        cnf = _pigeonhole(3)
+        result = CdclSolver(
+            cnf.num_vars, cnf.clauses, max_conflicts=100_000
+        ).solve()
+        assert result.status == UNSAT
+
+    def test_restarts_preserve_soundness(self):
+        # Enough conflicts to force several geometric restarts.
+        cnf = _pigeonhole(6)
+        result = solve(cnf.num_vars, cnf.clauses)
+        assert result.status == UNSAT
+        assert result.restarts > 0
+
+
+class TestCnfBuilder:
+    def test_literal_validation(self):
+        cnf = Cnf()
+        cnf.new_var()
+        with pytest.raises(ValueError, match="names no allocated"):
+            cnf.add(2)
+        with pytest.raises(ValueError, match="names no allocated"):
+            cnf.add(0)
+
+    def test_var_names_roundtrip(self):
+        cnf = Cnf()
+        x = cnf.new_var("x")
+        anon = cnf.new_var()
+        assert cnf.name_of(x) == "x"
+        assert cnf.name_of(anon) == f"v{anon}"
+
+    def test_at_most_k_negative_bound_rejected(self):
+        cnf = Cnf()
+        v = cnf.new_var()
+        with pytest.raises(ValueError, match="negative cardinality"):
+            cnf.add_at_most_k([v], -1)
+
+    def test_at_most_zero_forces_all_false(self):
+        cnf = Cnf()
+        vars_ = [cnf.new_var() for _ in range(3)]
+        cnf.add_at_most_k(vars_, 0)
+        result = solve(cnf.num_vars, cnf.clauses)
+        assert result.status == SAT
+        assert not any(result[v] for v in vars_)
+
+    def test_at_most_k_vacuous_adds_nothing(self):
+        cnf = Cnf()
+        vars_ = [cnf.new_var() for _ in range(3)]
+        cnf.add_at_most_k(vars_, 3)
+        assert cnf.clauses == []
+
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 3), (6, 1)])
+    def test_at_most_k_counts_exactly(self, n, k):
+        """Every assignment of the base vars: the encoding (projected onto
+        the base vars) accepts iff at most k are true."""
+        cnf = Cnf()
+        base = [cnf.new_var(f"b{i}") for i in range(n)]
+        cnf.add_at_most_k(base, k)
+        for bits in itertools.product((False, True), repeat=n):
+            fixed = [v if b else -v for v, b in zip(base, bits)]
+            result = solve(
+                cnf.num_vars, cnf.clauses + [[lit] for lit in fixed]
+            )
+            expected = sum(bits) <= k
+            assert (result.status == SAT) == expected, (bits, k)
+
+    def test_at_most_k_weights_duplicates(self):
+        """A literal listed twice counts twice — the weighted-resource
+        idiom the modulo encoder relies on."""
+        cnf = Cnf()
+        a, b = cnf.new_var("a"), cnf.new_var("b")
+        cnf.add_at_most_k([a, a, b], 2)
+        # a alone costs 2: fine.  a and b cost 3: rejected.
+        assert solve(cnf.num_vars, cnf.clauses + [[a], [-b]]).status == SAT
+        assert solve(cnf.num_vars, cnf.clauses + [[a], [b]]).status == UNSAT
+
+    def test_at_most_k_accepts_negated_literals(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_at_most_k([-a, -b], 1)
+        # Both false means both negated literals true: sum 2 > 1.
+        assert solve(cnf.num_vars, cnf.clauses + [[-a], [-b]]).status \
+            == UNSAT
+        assert solve(cnf.num_vars, cnf.clauses + [[a], [-b]]).status == SAT
+
+    def test_to_dimacs_format(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add(a, -b)
+        cnf.add(b)
+        text = cnf.to_dimacs(comment="hello\nworld")
+        lines = text.splitlines()
+        assert lines[0] == "c hello"
+        assert lines[1] == "c world"
+        assert lines[2] == "p cnf 2 2"
+        assert lines[3] == "1 -2 0"
+        assert lines[4] == "2 0"
+
+
+class TestSolveResult:
+    def test_defaults(self):
+        result = SolveResult(status=UNSAT)
+        assert result.model == {}
+        assert result.conflicts == 0

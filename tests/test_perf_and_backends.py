@@ -127,12 +127,27 @@ class TestBenchReport:
         payload = report.to_dict()
         assert payload["version"] == 1
         assert payload["cpu_count"] >= 1
-        for name in ("closure", "scheduler", "suite", "backends"):
+        for name in ("closure", "scheduler", "optimality", "suite",
+                     "backends"):
             assert name in payload["benchmarks"], name
-        for name in ("closure", "scheduler", "suite"):
+        for name in ("closure", "scheduler", "optimality", "suite"):
             entry = payload["benchmarks"][name]
             assert entry["units"] > 0
             assert entry["per_unit_seconds"] > 0
+
+    def test_optimality_gap_metric(self, report):
+        entry = report.benchmarks["optimality"]
+        assert entry["violations"] == 0
+        gap = entry["optimality_gap"]
+        assert gap["checked"] == entry["units"]
+        assert sum(
+            gap[name]
+            for name in ("optimal", "gap", "decline_confirmed",
+                         "decline_missed", "budget", "violation")
+        ) == gap["checked"]
+        assert 0.0 <= gap["at_optimum_fraction"] <= 1.0
+        assert gap["mean_gap"] >= 0.0
+        assert gap["max_gap"] >= 0
 
     def test_closure_agrees_and_beats_numeric(self, report):
         closure = report.benchmarks["closure"]
@@ -150,7 +165,8 @@ class TestBenchReport:
 
     def test_summary_mentions_every_benchmark(self, report):
         text = report.summary()
-        for word in ("closure", "scheduler", "suite", "backends"):
+        for word in ("closure", "scheduler", "optimality", "suite",
+                     "backends"):
             assert word in text
 
     def test_self_comparison_is_clean(self, report, tmp_path):
@@ -178,8 +194,9 @@ class TestBenchReport:
             },
         )
         regressions = compare_reports(str(baseline), slow)
-        assert len(regressions) == 3
+        assert len(regressions) == 4
         assert any("closure" in line for line in regressions)
+        assert any("optimality" in line for line in regressions)
 
     def test_backend_speedup_never_flags_regression(self, report, tmp_path):
         """The machine-dependent backend speedup is informational only."""

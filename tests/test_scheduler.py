@@ -17,6 +17,18 @@ from repro.core.reduction import build_reduced_loop_graph
 from repro.ir import Imm, Opcode, Operation, ProgramBuilder, Reg
 from repro.machine import SIMPLE, WARP, make_custom
 from repro.machine.resources import ReservationTable, ResourceUse
+from repro.obs import trace as obs
+
+
+def _acc_loop():
+    """An accumulator loop: one nontrivial SCC, so prepare() builds a
+    symbolic closure whose dense matrices are cacheable per interval."""
+    pb = ProgramBuilder("acc")
+    pb.array("a", 256)
+    s = pb.fmov(0.0)
+    with pb.loop("i", 0, 9) as body:
+        body.fadd(s, body.load("a", body.var), dest=s)
+    return build_reduced_loop_graph(pb.finish().body[-1], WARP)
 
 
 def _vadd_loop(n=99):
@@ -289,3 +301,61 @@ class TestModuloScheduler:
         schedule.times[edge.dst.index] = schedule.times[edge.src.index]
         with pytest.raises(ScheduleViolation):
             check_kernel_schedule(schedule)
+
+
+class TestPreparedSharing:
+    """The per-scheduler prepare() memo and the dense-matrix cache it
+    feeds.  Before the memo existed every schedule()/schedule_at() call
+    re-prepared the graph from scratch, so the per-interval dense cache
+    inside each symbolic closure was rebuilt and never hit — the
+    benchmark showed dense_cache_hits 0 against 1674 misses."""
+
+    def test_repeat_scheduling_hits_dense_cache(self):
+        # The regression test for the dead memoization: scheduling the
+        # same graph twice at the same interval must reuse the prepared
+        # closure, so the second pass hits the dense cache instead of
+        # rebuilding the matrices.  Fails on the old per-call prepare.
+        lg = _acc_loop()
+        scheduler = ModuloScheduler(WARP)
+        with obs.observe() as observer:
+            result = scheduler.schedule(lg.graph)
+            again = scheduler.schedule_at(lg.graph, result.ii)
+        assert again is not None and again.ii == result.ii
+        assert observer.counters.get("dense_cache_hits", 0) > 0
+
+    def test_prepare_memoizes_by_graph_identity(self):
+        lg = _acc_loop()
+        scheduler = ModuloScheduler(WARP)
+        first = scheduler.prepare(lg.graph)
+        second = scheduler.prepare(lg.graph)
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_prepare_distinguishes_graph_objects(self):
+        scheduler = ModuloScheduler(WARP)
+        one = scheduler.prepare(_acc_loop().graph)
+        other = scheduler.prepare(_acc_loop().graph)
+        assert one[0] is not other[0]
+
+    def test_prepare_cache_evicts_oldest(self):
+        from repro.core.pipeliner import _PREPARED_CACHE_LIMIT
+
+        scheduler = ModuloScheduler(WARP)
+        keep = _acc_loop()  # hold a strong ref so id() is not recycled
+        first = scheduler.prepare(keep.graph)
+        others = [_acc_loop() for _ in range(_PREPARED_CACHE_LIMIT)]
+        for lg in others:
+            scheduler.prepare(lg.graph)
+        assert scheduler.prepare(keep.graph)[0] is not first[0]
+
+    def test_second_search_rebuilds_nothing(self):
+        lg = _acc_loop()
+        scheduler = ModuloScheduler(WARP)
+        with obs.observe() as observer:
+            scheduler.schedule(lg.graph)
+            scheduler.schedule(lg.graph)
+            counters = dict(observer.counters)
+        # Every dense matrix the first search built is reused by the
+        # second, and the second builds none of its own.
+        assert counters["dense_cache_misses"] > 0
+        assert counters["dense_cache_hits"] == counters["dense_cache_misses"]
