@@ -8,6 +8,8 @@ Usage::
     python -m repro ir program.w2                      # lowered IR
     python -m repro suite [--jobs 4] [--cache-dir .repro_cache] [--stats]
     python -m repro fuzz [--seed 1988] [--count 200] [--graphs 50] [--stats]
+    python -m repro serve [--socket PATH | --host H --port P] [--jobs 4]
+    python -m repro submit [files...] [--suite N] [--status] [--shutdown]
 
 ``--stats`` dumps the observability layer's JSON breakdown: per-phase
 wall-clock timings (dependence build, MII bounds, each II attempt, MVE,
@@ -167,6 +169,61 @@ def _build_parser() -> argparse.ArgumentParser:
              " confirmed/missed",
     )
 
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the persistent async compile server (repro.serve)",
+    )
+    _add_endpoint_args(serve)
+    serve.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="persistent worker-pool size (default: 4)",
+    )
+    serve.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="worker-pool backend; 'process' sidesteps the GIL on"
+             " multi-core hosts (default: thread)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="share an on-disk schedule cache rooted at DIR across"
+             " clients and restarts (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="backpressure bound: reject requests that would push the"
+             " pool queue past N units (default: 1024)",
+    )
+
+    submit = sub.add_parser(
+        "submit", parents=[common],
+        help="submit programs to a running compile server",
+    )
+    _add_endpoint_args(submit)
+    submit.add_argument(
+        "sources", nargs="*", metavar="FILE",
+        help="W2-like source files to compile remotely",
+    )
+    submit.add_argument(
+        "--suite", type=int, default=None, metavar="N",
+        help="compile the first N programs of the 72-program suite",
+    )
+    submit.add_argument(
+        "--status", action="store_true",
+        help="print the server's JSON stats reply",
+    )
+    submit.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to drain in-flight work and exit",
+    )
+    submit.add_argument(
+        "--disasm", action="store_true",
+        help="include the full code listing in each result",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="socket timeout per reply line (default: 300)",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="run the scheduler microbenchmark suite (repro.perf)",
@@ -174,6 +231,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true",
         help="reduced repetitions/sizes for CI smoke runs",
+    )
+    bench.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated benchmark subset"
+             " (closure,scheduler,optimality,suite,backends,loadgen)",
     )
     bench.add_argument(
         "--out", default=None, metavar="PATH",
@@ -190,6 +252,21 @@ def _build_parser() -> argparse.ArgumentParser:
              " (default: 4)",
     )
     return parser
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix-socket endpoint (default: .repro_serve.sock)",
+    )
+    parser.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="TCP host to serve/connect on instead of a unix socket",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="TCP port (required with --host)",
+    )
 
 
 def _read_source(args: argparse.Namespace) -> str:
@@ -242,10 +319,131 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import DEFAULT_SOCKET, CompileServer, ServeConfig
+
+    if (args.host is None) != (args.port is None):
+        print("error: --host and --port go together", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        socket_path=None if args.host else (args.socket or DEFAULT_SOCKET),
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        machine=args.machine,
+        policy=_policy(args),
+        max_pending=args.max_pending,
+    )
+    server = CompileServer(config)
+    print(f"repro compile server listening on {config.endpoint}"
+          f" (jobs={config.jobs}, backend={config.backend},"
+          f" cache={'disk:' + config.cache_dir if config.cache_dir else 'memory'})")
+
+    async def _serve() -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover
+                pass
+        await server.run()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass
+    print("compile server drained and exited")
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.serve import DEFAULT_SOCKET, ServeClient, ServeClientError
+
+    if (args.host is None) != (args.port is None):
+        print("error: --host and --port go together", file=sys.stderr)
+        return 2
+    actions = [bool(args.sources), args.suite is not None,
+               args.status, args.shutdown]
+    if not any(actions):
+        print("error: nothing to submit (give FILEs, --suite N, --status,"
+              " or --shutdown)", file=sys.stderr)
+        return 2
+    policy = _policy(args)
+    policy_wire = {
+        "pipeline": policy.pipeline,
+        "search": policy.search,
+        "cse": policy.cse,
+        "scheduler_backend": policy.scheduler_backend,
+        "exact_max_nodes": policy.exact_max_nodes,
+        "exact_max_conflicts": policy.exact_max_conflicts,
+    }
+    failures = 0
+    try:
+        with ServeClient(
+            socket_path=None if args.host else (args.socket or DEFAULT_SOCKET),
+            host=args.host, port=args.port, timeout=args.timeout,
+        ) as client:
+            for path in args.sources:
+                with open(path) as handle:
+                    source = handle.read()
+                result = client.compile(
+                    source, name=path, machine=args.machine,
+                    policy=policy_wire, disasm=args.disasm,
+                )
+                failures += _print_submit_result(result, disasm=args.disasm)
+            if args.suite is not None:
+                results, done = client.suite(
+                    args.suite, machine=args.machine,
+                    policy=policy_wire, disasm=args.disasm,
+                )
+                for result in results:
+                    failures += _print_submit_result(
+                        result, disasm=args.disasm
+                    )
+                print(f"suite: {done.get('ok', 0)}/{done.get('programs', 0)}"
+                      f" compiled in {done.get('seconds', 0.0):.3f}s,"
+                      f" {done.get('errors', 0)} errors")
+            if args.status:
+                print(json.dumps(client.status(), indent=2, sort_keys=True))
+            if args.shutdown:
+                ack = client.shutdown()
+                print(f"server draining"
+                      f" ({ack.get('draining', 0)} in-flight requests)")
+    except (OSError, ServeClientError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+def _print_submit_result(result: dict, *, disasm: bool) -> int:
+    """Print one streamed result; returns 1 for a failure, 0 otherwise."""
+    name = result.get("name", "?")
+    if result.get("ok"):
+        cached = " (cached)" if result.get("from_cache") else ""
+        print(f"{result['report']}{cached}")
+        if disasm and "disasm" in result:
+            print(result["disasm"])
+        return 0
+    error = result.get("error", {})
+    print(f"error: {name}: {error.get('error_type', 'Error')}:"
+          f" {error.get('message', '')}", file=sys.stderr)
+    return 1
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.perf import run_benchmarks, write_report, compare_reports
 
-    report = run_benchmarks(quick=args.quick, jobs=args.jobs)
+    only = (
+        tuple(name.strip() for name in args.only.split(",") if name.strip())
+        if args.only else None
+    )
+    report = run_benchmarks(quick=args.quick, jobs=args.jobs, only=only)
     print(report.summary())
     if args.out:
         write_report(report, args.out)
@@ -267,6 +465,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_fuzz(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
 
     try:
         text = _read_source(args)

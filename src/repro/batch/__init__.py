@@ -5,10 +5,14 @@
   ``BACKENDS``) with per-program fault isolation (one failing program
   yields a structured :class:`CompileError` record instead of killing the
   batch) and input-order results.
+* :mod:`repro.batch.pool` — ``WorkerPool``, the persistent executor layer:
+  one warm thread/process pool reused across ``run_many``/``compile_many``
+  calls (and by the ``repro.serve`` compile service), with chunked
+  submission for small work items and queue-depth/utilization accounting.
 * :mod:`repro.batch.cache` — a schedule cache keyed on the SHA-256 of
   (IR fingerprint, machine fingerprint, policy fingerprint), with an
-  in-memory layer plus an on-disk backend under ``.repro_cache/`` and
-  hit/miss counters.
+  in-memory layer plus an on-disk backend under ``.repro_cache/`` (fronted
+  by a sharded in-memory key index) and hit/miss counters.
 """
 
 from repro.batch.cache import (
@@ -20,13 +24,19 @@ from repro.batch.cache import (
     fingerprint_program,
 )
 from repro.batch.driver import (
-    BACKENDS,
     BatchReport,
     CompileError,
     CompileResult,
     compile_many,
     compile_one,
     run_many,
+)
+from repro.batch.pool import (
+    BACKENDS,
+    WorkerPool,
+    chunk_size,
+    close_shared_pools,
+    shared_pool,
 )
 
 __all__ = [
@@ -36,11 +46,15 @@ __all__ = [
     "CompileResult",
     "DEFAULT_CACHE_DIR",
     "ScheduleCache",
+    "WorkerPool",
     "cache_key",
+    "chunk_size",
+    "close_shared_pools",
     "compile_many",
     "compile_one",
     "fingerprint_machine",
     "fingerprint_policy",
     "fingerprint_program",
     "run_many",
+    "shared_pool",
 ]

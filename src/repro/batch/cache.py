@@ -11,6 +11,21 @@ optional on-disk backend under ``.repro_cache/`` holding one pickle per
 key, sharded by the first two hex digits.  Writes are atomic
 (temp-file + rename), so concurrent batch workers may share a directory.
 Hit/miss counters feed the batch driver's ``--stats`` output.
+
+The disk layer carries a sharded in-memory index of its keys, built by
+one directory walk at open and maintained on every ``put``: a ``get``
+that misses is a dictionary probe, not a failed ``open``/``stat`` per
+call, which matters once long-lived servers and warm worker pools field
+thousands of lookups against the same directory.  Entries written by a
+*different* process after open are not visible until
+:meth:`ScheduleCache.refresh_index` (a miss just recompiles — correct,
+merely redundant).
+
+Unpickling a cache (how it crosses into process-pool workers) resolves to
+one shared per-process instance per cache path (:meth:`ScheduleCache.
+shared`), so persistent workers keep a warm memory layer and a
+once-scanned index across every task they run instead of re-opening the
+directory per task.
 """
 
 from __future__ import annotations
@@ -37,6 +52,11 @@ if TYPE_CHECKING:  # pragma: no cover
 CACHE_FORMAT = 1
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Per-process registry backing :meth:`ScheduleCache.shared` (the
+#: unpickle target for process-pool workers), keyed by cache path.
+_SHARED_CACHES: dict[Optional[str], "ScheduleCache"] = {}
+_SHARED_LOCK = threading.Lock()
 
 
 def fingerprint_program(program: "Program") -> str:
@@ -114,9 +134,12 @@ class ScheduleCache:
     def __init__(self, path: str | os.PathLike | None = DEFAULT_CACHE_DIR):
         self.path: Optional[Path] = Path(path) if path is not None else None
         self._memory: dict[str, "CompiledProgram"] = {}
+        self._index: dict[str, set[str]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        if self.path is not None:
+            self.refresh_index()
 
     # -- internals -----------------------------------------------------------
 
@@ -131,42 +154,100 @@ class ScheduleCache:
             else:
                 self.misses += 1
 
+    # -- the on-disk key index -----------------------------------------------
+
+    def refresh_index(self) -> int:
+        """Rescan the cache directory into the sharded in-memory key index
+        and return the number of indexed keys.
+
+        One walk at open covers the common case; call this to pick up
+        entries written by *other* processes since (a stale index only
+        costs a redundant recompile, never a wrong result).
+        """
+        index: dict[str, set[str]] = {}
+        if self.path is not None and self.path.is_dir():
+            for shard in self.path.iterdir():
+                if not (shard.is_dir() and len(shard.name) == 2):
+                    continue
+                keys = {
+                    entry.name[: -len(".pkl")]
+                    for entry in shard.iterdir()
+                    if entry.name.endswith(".pkl")
+                }
+                if keys:
+                    index[shard.name] = keys
+        with self._lock:
+            self._index = index
+            return sum(len(keys) for keys in index.values())
+
+    @property
+    def index_size(self) -> int:
+        """Number of on-disk keys the index currently knows about."""
+        with self._lock:
+            return sum(len(keys) for keys in self._index.values())
+
+    def _index_has(self, key: str) -> bool:
+        with self._lock:
+            shard = self._index.get(key[:2])
+            return shard is not None and key in shard
+
+    def _index_add(self, key: str) -> None:
+        with self._lock:
+            self._index.setdefault(key[:2], set()).add(key)
+
+    def _index_discard(self, key: str) -> None:
+        with self._lock:
+            shard = self._index.get(key[:2])
+            if shard is not None:
+                shard.discard(key)
+
     # -- pickling (process-pool batch backend) -------------------------------
 
-    def __getstate__(self) -> dict[str, Any]:
-        """Only the disk path crosses a process boundary: the lock is not
-        picklable, and the in-memory layer plus counters are per-process
-        state (each worker rebuilds its own; the batch report's hit/miss
-        accounting relies on per-result flags, not on these counters)."""
-        return {"path": self.path}
+    @classmethod
+    def shared(cls, path: str | None) -> "ScheduleCache":
+        """The per-process shared instance for ``path``.
 
-    def __setstate__(self, state: dict[str, Any]) -> None:
-        self.path = state["path"]
-        self._memory = {}
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        This is the unpickle target: only the disk path crosses a process
+        boundary, and every task landing in one worker process resolves to
+        the same instance, so a persistent worker keeps its memory layer
+        and key index warm across tasks.  Counters start at zero in each
+        process (batch hit/miss accounting rides on per-result flags, not
+        on these counters).  Two memory-only caches (``path=None``) merge
+        into one per-process instance when unpickled — harmless, since
+        keys are content addresses.
+        """
+        with _SHARED_LOCK:
+            cache = _SHARED_CACHES.get(path)
+            if cache is None:
+                cache = cls(path)
+                _SHARED_CACHES[path] = cache
+            return cache
+
+    def __reduce__(self):
+        path = str(self.path) if self.path is not None else None
+        return (ScheduleCache.shared, (path,))
 
     # -- the cache protocol --------------------------------------------------
 
     def get(self, key: str) -> Optional["CompiledProgram"]:
         """The cached compilation for ``key``, or ``None`` (counted as a
-        miss)."""
+        miss).  A miss against the disk layer is an index probe — no
+        ``stat``/``open`` syscall per absent key."""
         with self._lock:
             cached = self._memory.get(key)
         if cached is not None:
             self._record(hit=True)
             return cached
-        if self.path is not None:
+        if self.path is not None and self._index_has(key):
             entry = self._entry_path(key)
             try:
                 with open(entry, "rb") as handle:
                     compiled = pickle.load(handle)
             except Exception:
-                # Unpickling a truncated/corrupt entry can raise nearly
-                # anything; any unreadable entry is a miss (and will be
-                # overwritten by the recompile's put).
-                pass
+                # Unpickling a truncated/corrupt/vanished entry can raise
+                # nearly anything; drop it from the index and treat it as
+                # a miss (the recompile's put restores it).
+                self._index_discard(key)
             else:
                 with self._lock:
                     self._memory[key] = compiled
@@ -193,6 +274,7 @@ class ScheduleCache:
             except OSError:
                 pass
             raise
+        self._index_add(key)
 
     # -- reporting -----------------------------------------------------------
 
@@ -207,6 +289,7 @@ class ScheduleCache:
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
             "memory_entries": len(self._memory),
+            "index_size": self.index_size,
             "path": str(self.path) if self.path is not None else None,
         }
 
@@ -214,6 +297,7 @@ class ScheduleCache:
         """Drop the in-memory layer and delete every on-disk entry."""
         with self._lock:
             self._memory.clear()
+            self._index = {}
             self.hits = 0
             self.misses = 0
         if self.path is not None and self.path.is_dir():

@@ -25,11 +25,11 @@ from __future__ import annotations
 import functools
 import time
 import traceback as _traceback
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.batch.cache import ScheduleCache, cache_key
+from repro.batch.pool import BACKENDS, WorkerPool
 from repro.core.compile import CompiledProgram, CompilerPolicy, compile_program
 from repro.machine import WARP, MachineDescription
 from repro.obs import trace as obs
@@ -40,43 +40,54 @@ from repro.obs import trace as obs
 SourceLike = Union[str, tuple, Any]
 
 
-#: Accepted ``backend`` values for the batch substrate.
-BACKENDS = ("thread", "process")
-
-
 def run_many(
     items: Sequence[Any],
     worker,
     *,
     jobs: int = 1,
     backend: str = "thread",
+    pool: Optional[WorkerPool] = None,
+    chunk: Optional[int] = None,
 ) -> list[Any]:
     """Generic worker-pool map with submission-order results.
 
-    The batch substrate shared by ``compile_many`` and the fuzzing
-    campaign: ``worker(item)`` runs for each item, ``jobs`` at a time, and
-    the result list aligns with the input order regardless of worker
-    scheduling.  Fault isolation is the worker's contract — a worker that
-    returns a structured error record instead of raising (like
+    The batch substrate shared by ``compile_many``, the fuzzing campaign,
+    and the compile service: ``worker(item)`` runs for each item, ``jobs``
+    at a time, and the result list aligns with the input order regardless
+    of worker scheduling.  Fault isolation is the worker's contract — a
+    worker that returns a structured error record instead of raising (like
     :func:`compile_one` or the audit campaign's case runner) keeps one bad
     item from taking down the batch.
 
     ``backend="process"`` swaps the thread pool for a process pool with
     identical ordering and fault-isolation semantics; worker, items, and
-    results must then be picklable.  Single-job or single-item batches run
-    inline regardless of backend.
+    results must then be picklable.
+
+    ``pool`` supplies a persistent :class:`~repro.batch.pool.WorkerPool`
+    to reuse across calls (``jobs``/``backend`` are then taken from the
+    pool); without one, a fresh pool is spun up and torn down per call —
+    fine for one big batch, expensive for a stream of small ones.  Large
+    batches are submitted in chunks (see
+    :func:`~repro.batch.pool.chunk_size`; override with ``chunk``) so tiny
+    work items do not pay a pickle/future round-trip each.
+
+    ``jobs`` must be non-negative; ``jobs`` of 0 or 1 runs the batch
+    inline on the calling thread (as does a single-item batch without a
+    persistent pool), and a negative ``jobs`` raises ``ValueError``.
     """
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown batch backend {backend!r}; expected one of {BACKENDS}"
         )
     items = list(items)
+    if pool is not None:
+        return pool.run(items, worker, chunk=chunk)
     if jobs <= 1 or len(items) <= 1:
         return [worker(item) for item in items]
-    executor = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-    with executor(max_workers=jobs) as pool:
-        futures = [pool.submit(worker, item) for item in items]
-        return [future.result() for future in futures]
+    with WorkerPool(jobs=jobs, backend=backend) as ephemeral:
+        return ephemeral.run(items, worker, chunk=chunk)
 
 
 @dataclass(frozen=True)
@@ -298,6 +309,7 @@ def compile_many(
     *,
     jobs: int = 1,
     backend: str = "thread",
+    pool: Optional[WorkerPool] = None,
     cache: Optional[ScheduleCache] = None,
     collect_stats: bool = False,
 ) -> BatchReport:
@@ -307,10 +319,15 @@ def compile_many(
     order.  With a :class:`ScheduleCache`, programs already compiled for
     this (IR, machine, policy) triple are hash lookups.
 
-    With ``backend="process"`` each worker process gets its own in-memory
-    cache layer; a disk-backed :class:`ScheduleCache` still shares entries
-    across workers (writes are atomic), and per-result ``from_cache`` flags
-    keep the report's hit/miss accounting correct either way.
+    ``pool`` reuses a persistent :class:`~repro.batch.pool.WorkerPool`
+    across calls — the compile service's configuration, where worker
+    processes stay warm (imports done, caches primed) between batches.
+
+    With ``backend="process"`` each worker process keeps its own in-memory
+    cache layer (shared across tasks within that worker); a disk-backed
+    :class:`ScheduleCache` still shares entries across workers (writes are
+    atomic), and per-result ``from_cache`` flags keep the report's
+    hit/miss accounting correct either way.
     """
     items = _coerce_sources(sources)
     t0 = time.perf_counter()
@@ -321,10 +338,10 @@ def compile_many(
         cache=cache,
         collect_stats=collect_stats,
     )
-    results = run_many(items, worker, jobs=jobs, backend=backend)
+    results = run_many(items, worker, jobs=jobs, backend=backend, pool=pool)
     return BatchReport(
         results=results,
-        jobs=max(1, jobs),
+        jobs=pool.jobs if pool is not None else max(1, jobs),
         wall_seconds=time.perf_counter() - t0,
         cached=cache is not None,
     )

@@ -7,17 +7,21 @@ runs on the same machine measure the same work and a committed
 """
 
 from repro.perf.bench import (
+    BENCHMARK_NAMES,
     BenchReport,
     compare_reports,
     load_report,
     run_benchmarks,
     write_report,
 )
+from repro.perf.loadgen import run_loadgen
 
 __all__ = [
+    "BENCHMARK_NAMES",
     "BenchReport",
     "compare_reports",
     "load_report",
     "run_benchmarks",
+    "run_loadgen",
     "write_report",
 ]

@@ -1,0 +1,41 @@
+"""Compilation as a service: the persistent async compile server.
+
+The production arrangement for a pipeliner that is a pure function of
+(IR, machine, policy): one long-lived asyncio server (``python -m repro
+serve``) multiplexes every client's requests onto a warm persistent
+:class:`~repro.batch.pool.WorkerPool` and one shared
+:class:`~repro.batch.ScheduleCache`, streaming per-program results over
+a JSON-lines protocol as they finish.
+
+* :mod:`repro.serve.protocol` — the wire format (``compile``, ``suite``,
+  ``status``, ``shutdown`` requests; streamed ``result`` replies) and its
+  validation.
+* :mod:`repro.serve.server` — :class:`CompileServer` (unix-socket or TCP
+  listener, backpressure, graceful drain, obs-counter stats) and
+  :class:`ServerThread` for in-process embedding.
+* :mod:`repro.serve.client` — :class:`ServeClient`, the synchronous
+  client behind ``python -m repro submit`` and the ``loadgen`` benchmark.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.protocol import (
+    DEFAULT_SOCKET,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.serve.server import (
+    CompileServer,
+    ServeConfig,
+    ServerThread,
+)
+
+__all__ = [
+    "CompileServer",
+    "DEFAULT_SOCKET",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServerThread",
+]
