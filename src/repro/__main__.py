@@ -251,6 +251,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker count for the backend-comparison benchmark"
              " (default: 4)",
     )
+    bench.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="run the selected benchmarks under cProfile; print the top"
+             " functions by cumulative time, or dump pstats data to PATH",
+    )
     return parser
 
 
@@ -443,6 +448,32 @@ def _run_bench(args: argparse.Namespace) -> int:
         tuple(name.strip() for name in args.only.split(",") if name.strip())
         if args.only else None
     )
+    if args.profile is not None:
+        # Profile-driven pass support: the same run, under cProfile.
+        # Wall times in the report are inflated by tracing overhead, so a
+        # profiled report is never written or compared — it exists to
+        # show where the time goes, not how much of it there is.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            report = run_benchmarks(
+                quick=args.quick, jobs=args.jobs, only=only
+            )
+        finally:
+            profiler.disable()
+        print(report.summary())
+        print("note: timings above include cProfile overhead;"
+              " report not written/compared")
+        if args.profile == "-":
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        else:
+            profiler.dump_stats(args.profile)
+            print(f"wrote profile data to {args.profile}"
+                  " (inspect with python -m pstats)")
+        return 0
     report = run_benchmarks(quick=args.quick, jobs=args.jobs, only=only)
     print(report.summary())
     if args.out:

@@ -94,17 +94,16 @@ def modulo_schedule_dag(
     s = mrt.s
     heights = item_heights(items, edges, s)
     preds: dict[int, list[ItemEdge]] = {}
+    succs: dict[int, list[ItemEdge]] = {}
     remaining = {item.index: 0 for item in items}
     for edge in edges:
         preds.setdefault(edge.dst, []).append(edge)
+        succs.setdefault(edge.src, []).append(edge)
         remaining[edge.dst] += 1
 
     by_index = {item.index: item for item in items}
     ready = [index for index, count in remaining.items() if count == 0]
     times: dict[int, int] = {}
-    succs: dict[int, list[ItemEdge]] = {}
-    for edge in edges:
-        succs.setdefault(edge.src, []).append(edge)
 
     while ready:
         ready.sort(key=lambda index: (-heights[index], index))

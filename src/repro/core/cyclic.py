@@ -99,61 +99,78 @@ def schedule_component(
     paths: SymbolicPaths,
     s: int,
     machine: MachineDescription,
+    order: Optional[Sequence[DepNode]] = None,
 ) -> Optional[Cluster]:
     """Schedule one strongly connected component for initiation interval
     ``s``, against a private modulo reservation table.
+
+    ``order`` is the component's zero-omega topological order; it does not
+    depend on ``s``, so the driver computes it once per graph and passes it
+    to every attempt (omitted, it is derived on the spot).
 
     Returns ``None`` when no placement exists within some node's
     precedence-constrained range.
     """
     mrt = ModuloReservationTable(machine, s)
-    order = _zero_omega_order(component, paths.edges)
+    if order is None:
+        order = _zero_omega_order(component, paths.edges)
     times: dict[int, int] = {}
-    scheduled: list[DepNode] = []
+    # Placed nodes as (local index, issue time): the range computation below
+    # runs O(n^2) times per attempt and should touch no dicts.
+    scheduled: list[tuple[int, int]] = []
     # One dense materialization of the symbolic closure per (component, s);
     # the O(n^2) range computations below are then flat array lookups.
     dist = paths.dense(s)
     local = paths.local
+    n = paths.n
 
     for node in order:
+        reservation = node.reservation
+        node_local = local[node.index]
         if not scheduled:
-            time = mrt.earliest_fit(node.reservation, 0)
+            time = mrt.earliest_fit(reservation, 0)
             if time is None:
                 obs.count("scc_placement_failures")
                 return None
         else:
             low: float = NEG_INF
             high: float = math.inf
-            node_local = local[node.index]
-            node_row = dist[node_local]
-            for other in scheduled:
-                other_local = local[other.index]
-                forward = dist[other_local][node_local]
+            node_base = node_local * n
+            for other_local, other_time in scheduled:
+                forward = dist[other_local * n + node_local]
                 if forward != NEG_INF:
-                    low = max(low, times[other.index] + forward)
-                backward = node_row[other_local]
+                    bound = other_time + forward
+                    if bound > low:
+                        low = bound
+                backward = dist[node_base + other_local]
                 if backward != NEG_INF:
-                    high = min(high, times[other.index] - backward)
+                    bound = other_time - backward
+                    if bound < high:
+                        high = bound
             if low == NEG_INF:
                 low = 0
             if low > high:
                 obs.count("scc_empty_ranges")
                 return None
             latest = None if high == math.inf else int(high)
-            time = mrt.earliest_fit(node.reservation, int(low), latest)
+            time = mrt.earliest_fit(reservation, int(low), latest)
             if time is None:
                 obs.count("scc_placement_failures")
                 return None
-        mrt.place(node.reservation, time)
+        mrt.place(reservation, time)
         times[node.index] = time
-        scheduled.append(node)
+        scheduled.append((node_local, time))
 
     obs.count("scc_schedules")
     base = min(times.values())
     offsets = {index: time - base for index, time in times.items()}
-    reservation = ReservationTable()
+    # Aggregate the members' usage in one cells dict instead of a chain of
+    # immutable merged(shifted(...)) tables (which is quadratic in cells).
+    cells: dict[tuple[int, str], int] = {}
     for node in component:
-        reservation = reservation.merged(
-            node.reservation.shifted(offsets[node.index])
-        )
+        shift = offsets[node.index]
+        for offset, resource, amount in node.reservation:
+            key = (offset + shift, resource)
+            cells[key] = cells.get(key, 0) + amount
+    reservation = ReservationTable.from_cells(cells)
     return Cluster(list(component), offsets, reservation)

@@ -12,8 +12,6 @@ of Figure 4-2.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from repro.core.schedule import BlockSchedule
 from repro.deps.graph import DepGraph, DepNode
 from repro.machine.description import MachineDescription
@@ -21,24 +19,32 @@ from repro.machine.resources import ReservationTable
 
 
 class _ResourceGrid:
-    """Plain (non-modulo) resource usage over absolute time."""
+    """Plain (non-modulo) resource usage over absolute time.
+
+    Usage is keyed by the interned integer ``time * nres + rid`` (times are
+    unbounded here, so a dict rather than a flat array — but the keys are
+    small ints and the reservation cells arrive pre-packed, with per-cycle
+    limits baked in)."""
 
     def __init__(self, machine: MachineDescription) -> None:
         self.machine = machine
-        self._used: dict[tuple[int, str], int] = defaultdict(int)
+        self._nres = len(machine.resource_names)
+        self._used: dict[int, int] = {}
 
     def fits(self, reservation: ReservationTable, time: int) -> bool:
-        for offset, resource, amount in reservation:
-            if (
-                self._used[(time + offset, resource)] + amount
-                > self.machine.units(resource)
-            ):
+        used = self._used
+        nres = self._nres
+        for offset, rid, amount, limit in self.machine.packed(reservation).cells:
+            if used.get((time + offset) * nres + rid, 0) + amount > limit:
                 return False
         return True
 
     def place(self, reservation: ReservationTable, time: int) -> None:
-        for offset, resource, amount in reservation:
-            self._used[(time + offset, resource)] += amount
+        used = self._used
+        nres = self._nres
+        for offset, rid, amount, _limit in self.machine.packed(reservation).cells:
+            key = (time + offset) * nres + rid
+            used[key] = used.get(key, 0) + amount
 
 
 def block_heights(graph: DepGraph) -> dict[int, int]:

@@ -30,7 +30,7 @@ from typing import Optional, Protocol, runtime_checkable
 
 from repro.obs import trace as obs
 from repro.core.acyclic import ItemEdge, SchedItem, modulo_schedule_dag
-from repro.core.cyclic import Cluster, schedule_component
+from repro.core.cyclic import Cluster, _zero_omega_order, schedule_component
 from repro.core.mii import MiiReport, resource_mii
 from repro.core.mrt import ModuloReservationTable
 from repro.core.schedule import KernelSchedule, SchedulingFailure
@@ -83,10 +83,12 @@ class PreparedGraph:
     """Everything about one dependence graph that does not depend on the
     candidate initiation interval, computed once before the search.
 
-    components / paths
+    components / paths / orders
         Condensation-ordered components and, aligned by slot, each
-        nontrivial component's symbolic closure (``None`` for singletons
-        without self-recurrences).
+        nontrivial component's symbolic closure and zero-omega topological
+        order (``None`` for singletons without self-recurrences — the
+        order, like the closure, is interval-independent, so attempts
+        share one).
     recurrence
         The graph's recurrence-constrained bound: the maximum of the
         closures' fused per-component bounds.
@@ -105,6 +107,7 @@ class PreparedGraph:
 
     components: list[list[DepNode]]
     paths: list[Optional[SymbolicPaths]]
+    orders: list[Optional[list[DepNode]]]
     recurrence: int
     item_of: dict[int, int]
     base_items: list[Optional[SchedItem]]
@@ -201,6 +204,9 @@ class ModuloScheduler:
     ) -> None:
         self.machine = machine
         self.policy = policy
+        # One shared branch reservation per scheduler keeps the packed-table
+        # memo warm (it is keyed on table identity).
+        self._branch_table = ReservationTable.single(policy.branch_resource)
         # id(graph) -> (graph, prepared, mii).  The strong graph reference
         # keeps the id from being recycled while the entry is alive.
         self._prepared: dict[int, tuple[DepGraph, PreparedGraph, MiiReport]] = {}
@@ -306,6 +312,7 @@ class ModuloScheduler:
                 cross.append((edge, src_item, dst_item, None))
 
         paths: list[Optional[SymbolicPaths]] = []
+        orders: list[Optional[list[DepNode]]] = []
         base_items: list[Optional[SchedItem]] = []
         base_clusters: list[Optional[Cluster]] = []
         recurrence = 0
@@ -313,6 +320,7 @@ class ModuloScheduler:
             if trivial[slot] and not internal[slot]:
                 node = component[0]
                 paths.append(None)
+                orders.append(None)
                 base_items.append(SchedItem(slot, node.reservation, node.length))
                 base_clusters.append(
                     Cluster([node], {node.index: 0}, node.reservation)
@@ -321,6 +329,7 @@ class ModuloScheduler:
             closure = SymbolicPaths(component, internal[slot])
             recurrence = max(recurrence, closure.recurrence_bound)
             paths.append(closure)
+            orders.append(_zero_omega_order(component, internal[slot]))
             base_items.append(None)
             base_clusters.append(None)
 
@@ -335,6 +344,7 @@ class ModuloScheduler:
         return PreparedGraph(
             components=components,
             paths=paths,
+            orders=orders,
             recurrence=recurrence,
             item_of=item_of,
             base_items=base_items,
@@ -367,7 +377,8 @@ class ModuloScheduler:
             if paths is None:
                 continue
             cluster = schedule_component(
-                prepared.components[slot], paths, s, self.machine
+                prepared.components[slot], paths, s, self.machine,
+                prepared.orders[slot],
             )
             if cluster is None:
                 obs.count("backtracks")
@@ -388,8 +399,7 @@ class ModuloScheduler:
 
         mrt = ModuloReservationTable(self.machine, s)
         if self.policy.reserve_branch:
-            branch = ReservationTable.single(self.policy.branch_resource)
-            mrt.place(branch, s - 1)
+            mrt.place(self._branch_table, s - 1)
         item_times = modulo_schedule_dag(items, item_edges, mrt)
         if item_times is None:
             obs.count("backtracks")

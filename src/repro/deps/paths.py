@@ -10,31 +10,52 @@ the maximum, so :class:`SymbolicPaths` stores frontier sets and evaluates
 them for each concrete ``s`` the iterative scheduler tries.
 
 The recurrence-constrained lower bound on the initiation interval —
-``max(ceil(d(c) / p(c)))`` over dependence cycles ``c`` — is *fused* into
-the same closure: the build phase prunes with the s-independent
-coordinate-wise rule (``d1 >= d2`` and ``p1 <= p2``), which preserves the
-cycle-ratio order exactly, and caps path iteration differences at the
-largest any simple path can accumulate, so the diagonal frontiers carry a
-dominating representative of every simple cycle.  Reading the maximum
-``ceil(d / p)`` off the diagonals therefore yields the exact bound without
-any of the numeric Floyd-Warshall probes a binary search would need.
+``max(ceil(d(c) / p(c)))`` over dependence cycles ``c`` — is computed first
+and directly: feasibility of an integer ``s`` (no positive cycle under
+weights ``d - s*p``) is monotone in ``s`` and each probe is one
+early-terminating Bellman-Ford sweep, so a galloping search starting from
+the best self-edge ratio finds the exact bound in a handful of O(nE)
+passes.  That is far cheaper than any all-points closure, and it makes the
+closure itself cheaper too: the Pareto build can prune with the *final*
+bound from its first insertion instead of tightening adaptively, so cycle
+wrap-around is dominated on sight and no re-pruning pass is needed.
 
-Once the bound ``s_min`` is known (derived or supplied), every cell is
-re-pruned with the value rule: pair ``(d1, p1)`` dominates ``(d2, p2)`` iff
-``d1 - s*p1 >= d2 - s*p2`` for all ``s >= s_min``, i.e. ``p1 <= p2`` and
-``d2 - d1 <= s_min * (p2 - p1)``.  Surviving frontiers are tiny and kept
-sorted by omega (and hence by delay and by value at ``s_min``, all strictly
-increasing), which makes domination checks O(log n) bisections.
+The closure is built lazily, on the first frontier or dense query: callers
+that only want the bound (the MII computation, the ``closure``
+microbenchmark) never pay for it.  Cells are pruned with the value rule at
+``S = max(recurrence_bound, s_min)``: pair ``(d1, p1)`` dominates
+``(d2, p2)`` iff ``d1 - s*p1 >= d2 - s*p2`` for all ``s >= S``, i.e.
+``p1 <= p2`` and ``d2 - d1 <= S * (p2 - p1)``.  Surviving frontiers are
+tiny and kept sorted by omega (and hence by delay and by value at ``S``,
+all strictly increasing).
+
+Everything on the hot path is integer-packed.  The frontier table is flat
+with manual row strides, and — because the overwhelming majority of cells
+hold exactly one surviving pair — scalar cells live directly in parallel
+``p``/``d``/``value`` arrays, with only the rare multi-pair cells spilled
+to sorted ``(p, d)`` lists (plain tuple comparison *is* the omega order,
+so the bisections need no key function).  The per-``s`` dense matrices are
+flat preallocated float rows materialized from a CSR view of the frontiers
+(pair arrays plus cell starts).  An optional numpy path (enabled by
+``REPRO_NUMPY=1`` when numpy is importable — the pure-python path stays
+the tested default) vectorizes that materialization with a segmented
+maximum.
 
 Per candidate initiation interval the scheduler asks for many entries of
 the same closure, so the first query at a given ``s`` materializes the
-frontier table into a dense matrix (:meth:`SymbolicPaths.dense`); repeat
-queries are flat O(1) array lookups, counted by the ambient observer's
-``dense_cache_hits`` / ``dense_cache_misses`` pair.
+dense matrix (:meth:`SymbolicPaths.dense`); repeat queries are flat O(1)
+array lookups, counted by the ambient observer's ``dense_cache_hits`` /
+``dense_cache_misses`` pair.  The per-closure cache keeps the first
+(lowest) intervals queried — the ones every replayed II climb asks for
+first — and serves overflow intervals from one scratch buffer recycled
+in place (``closure_buffer_reuses``), so a long linear search allocates
+a bounded number of matrices no matter how many intervals it climbs
+through.
 """
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
 from typing import Optional, Sequence
 
@@ -42,6 +63,28 @@ from repro.deps.graph import DepEdge, DepNode
 from repro.obs import trace as obs
 
 NEG_INF = float("-inf")
+
+_np = None
+if os.environ.get("REPRO_NUMPY", "").strip().lower() in ("1", "true", "on"):
+    try:  # pragma: no cover - exercised only where numpy is installed
+        import numpy as _np  # type: ignore[no-redef]
+    except ImportError:
+        _np = None
+
+#: Dense matrices kept per closure: the first intervals queried, which
+#: for the linear II search are the lowest — exactly the ones a repeat
+#: schedule (replaying the climb from ``s_min``) asks for first.
+#: Intervals past the window are served from a single reusable scratch
+#: buffer instead of evicting (see :meth:`SymbolicPaths.dense`): evicting
+#: the oldest would discard precisely the entries the replay needs and
+#: degenerate to all-miss thrash on climbs longer than the window.
+#: Matrices are n^2 floats with component n <= a few dozen, so the full
+#: window is a few tens of kilobytes per closure.
+_DENSE_CACHE_LIMIT = 24
+
+_ZERO_OMEGA_CYCLE = (
+    "dependence cycle with zero iteration difference and positive delay"
+)
 
 
 class CyclicDependenceError(Exception):
@@ -105,15 +148,13 @@ def numeric_recurrence_bound(
 ) -> int:
     """Reference implementation of the recurrence bound: binary search over
     concrete intervals, each probed with a full numeric Floyd-Warshall pass
-    (the pre-fusion algorithm, ~21 O(n^3) passes for the default range).
+    (the original algorithm, ~21 O(n^3) passes for the default range).
 
-    Kept as the oracle the fused symbolic derivation is property-tested
-    against, and as the baseline of the ``closure_mii`` microbenchmark.
+    Kept as the oracle the direct cycle-ratio search is property-tested
+    against, and as the baseline of the ``closure`` microbenchmark.
     """
     if longest_paths(nodes, edges, upper_bound) is None:
-        raise CyclicDependenceError(
-            "dependence cycle with zero iteration difference and positive delay"
-        )
+        raise CyclicDependenceError(_ZERO_OMEGA_CYCLE)
     # Feasibility is monotone in s here (cycle weights d(c) - s*p(c) only
     # decrease as s grows), so binary search is exact.
     lo, hi = 0, upper_bound
@@ -134,9 +175,9 @@ def minimum_initiation_interval_for_cycles(
     """Smallest integer ``s >= 0`` with no positive cycle, i.e. the
     recurrence-constrained bound max over cycles of ceil(d(c) / p(c)).
 
-    Computed from the diagonal Pareto frontiers of one symbolic closure
-    (see :class:`SymbolicPaths`); ``upper_bound`` is accepted for backward
-    compatibility but no numeric search happens any more.
+    Computed by :class:`SymbolicPaths`'s galloping Bellman-Ford search;
+    ``upper_bound`` is accepted for backward compatibility but plays no
+    role any more (a sharp bound is derived from the edge delays).
 
     Raises :class:`CyclicDependenceError` if a cycle with total iteration
     difference 0 has positive delay (infeasible at every ``s``).
@@ -147,77 +188,86 @@ def minimum_initiation_interval_for_cycles(
 
 # -- symbolic closure --------------------------------------------------------
 
-#: A Pareto frontier of (delay, omega) path costs, kept sorted by omega.
-#: Surviving pairs are strictly increasing in omega, in delay, and in
-#: value at the pruning bound (``d - s_min * p``).
+#: A Pareto frontier of (delay, omega) path costs as exposed by
+#: :meth:`SymbolicPaths.frontier`, kept sorted by omega.  Surviving pairs
+#: are strictly increasing in omega, in delay, and in value at the pruning
+#: bound.  (Internally cells store ``(p, d)`` so tuple order is omega
+#: order; the accessor flips back to the documented ``(d, p)``.)
 Frontier = tuple[tuple[int, int], ...]
-
-
-def _omega_of(pair: tuple[int, int]) -> int:
-    return pair[1]
 
 
 def _insert(
     frontier: list[tuple[int, int]],
-    d: int,
     p: int,
+    d: int,
     s_min: int,
     p_cap: Optional[int] = None,
 ) -> bool:
-    """Insert (d, p) into the frontier, pruning dominated pairs.
+    """Insert ``(p, d)`` into the frontier, pruning dominated pairs.
 
-    ``frontier`` is kept sorted by omega.  Because survivors are strictly
-    increasing in value at ``s_min`` along that order, the only possible
-    dominator of a new pair is its immediate predecessor (largest
-    ``p1 <= p``), and the pairs it dominates form a contiguous run starting
-    at its insertion point — so one bisection plus local scans suffice
-    instead of a full frontier sweep.
+    ``frontier`` is kept sorted by omega; pairs are stored ``(p, d)`` so
+    the sort order is native tuple order and the bisection probe is the
+    bare one-tuple ``(p,)`` (which sorts before every ``(p, d)``).
+    Because survivors are strictly increasing in value at ``s_min`` along
+    that order, the only possible dominator of a new pair is its immediate
+    predecessor (largest ``p1 <= p``), and the pairs it dominates form a
+    contiguous run starting at its insertion point — so one bisection plus
+    local scans suffice instead of a full frontier sweep.
 
     With ``s_min = 0`` the rule degenerates to coordinate-wise domination
-    (``d1 >= d`` and ``p1 <= p``), which is valid for every ``s >= 0`` and
-    preserves cycle ratios; ``p_cap`` then bounds accumulated iteration
-    differences so cycle-augmented paths cannot wrap forever.
+    (``d1 >= d`` and ``p1 <= p``), which is valid for every ``s >= 0``;
+    ``p_cap`` bounds accumulated iteration differences so cycle-augmented
+    paths cannot wrap forever.
 
     Returns True if the pair was actually added (i.e. it was not dominated).
+
+    This module-level function is the readable reference; the closure
+    build in :class:`SymbolicPaths` inlines the same logic over its
+    scalar-cell arrays (it runs a quarter-million times on a benchmark
+    pass, where call frames and keyed bisections dominated the profile).
     """
     if p_cap is not None and p > p_cap:
         return False
     value = d - s_min * p
-    i = bisect_left(frontier, p, key=_omega_of)
+    size = len(frontier)
+    if not size:
+        frontier.append((p, d))
+        return True
+    i = bisect_left(frontier, (p,))
     # The candidate dominator: the last pair with p1 <= p.  frontier[i]
     # itself qualifies when it has equal omega.
-    j = i + 1 if i < len(frontier) and frontier[i][1] == p else i
+    j = i + 1 if i < size and frontier[i][0] == p else i
     if j > 0:
-        d1, p1 = frontier[j - 1]
+        p1, d1 = frontier[j - 1]
         if d1 - s_min * p1 >= value:
             return False
-    # Pairs dominated by (d, p): omega >= p and value <= ours — a
+    # Pairs dominated by (p, d): omega >= p and value <= ours — a
     # contiguous run from the insertion point, by the sort invariant.
     k = i
-    end = len(frontier)
-    while k < end:
-        d1, p1 = frontier[k]
+    while k < size:
+        p1, d1 = frontier[k]
         if d1 - s_min * p1 > value:
             break
         k += 1
-    frontier[i:k] = [(d, p)]
+    frontier[i:k] = [(p, d)]
     return True
-
-
-def _ceil_div(d: int, p: int) -> int:
-    return -(-d // p)
 
 
 class SymbolicPaths:
     """All-points longest paths over one SCC with symbolic initiation
     interval, computed once and evaluated cheaply per candidate ``s``.
 
-    With ``s_min`` omitted (the fused mode used by the scheduler), the
-    component's exact recurrence-constrained bound is derived from the
-    closure itself and exposed as :attr:`recurrence_bound`; the frontiers
-    are then pruned for queries at ``s >= max(1, recurrence_bound)``.  An
-    explicit ``s_min`` must lower-bound every ``s`` passed to
-    :meth:`evaluate` (the legacy contract).
+    The constructor computes only :attr:`recurrence_bound` (exact, via the
+    galloping Bellman-Ford search); the Pareto frontier table is built on
+    the first :meth:`frontier`/:meth:`dense`/:meth:`evaluate` call.  With
+    ``s_min`` omitted (the fused mode used by the scheduler), queries are
+    valid for ``s >= max(1, recurrence_bound)``; an explicit ``s_min``
+    must lower-bound every ``s`` passed to :meth:`evaluate` (the legacy
+    contract).
+
+    The frontier table and the dense matrices :meth:`dense` returns are
+    flat (``n * n`` cells, row stride :attr:`n`) — callers index with
+    ``matrix[src_local * n + dst_local]``.
     """
 
     def __init__(
@@ -229,119 +279,433 @@ class SymbolicPaths:
         self.nodes = list(nodes)
         self.edges = list(edges)
         n = len(self.nodes)
+        self.n = n
         self.local = {node.index: i for i, node in enumerate(self.nodes)}
-        local_edges = _local_edges(self.nodes, edges)
-        # No simple path repeats a node, so its total iteration difference
-        # is at most one maximal omega per node; capping there keeps every
-        # pair a simple path needs while bounding cycle wrap-around even
-        # before the adaptive bound below kicks in.
-        max_omega = max((omega for *_rest, omega in local_edges), default=0)
-        p_cap = n * max_omega
-        # The adaptive pruning bound: the largest ceil(d / p) seen on any
-        # diagonal (closed-walk) pair so far.  Every diagonal pair is a
-        # real dependence cycle composition, so ``bound`` is a certified
-        # lower bound on the recurrence MII at all times — pruning with it
-        # is sound for every ``s`` the scheduler can ever try — and once it
-        # reaches a cycle's ratio, further wraps of that cycle are
-        # dominated on sight, keeping frontiers near their final size.  At
-        # ``bound = 0`` the rule degenerates to coordinate-wise domination,
-        # which preserves cycle ratios exactly; together these make the
-        # final ``bound`` the exact recurrence bound, with no numeric
-        # binary search at all.
-        bound = 0
-        table: list[list[list[tuple[int, int]]]] = [
-            [[] for _ in range(n)] for _ in range(n)
-        ]
-        for src, dst, delay, omega in local_edges:
-            if _insert(table[src][dst], delay, omega, bound, p_cap) \
-                    and src == dst and delay > 0:
-                if omega == 0:
-                    raise CyclicDependenceError(
-                        "dependence cycle with zero iteration difference"
-                        " and positive delay"
-                    )
-                bound = max(bound, _ceil_div(delay, omega))
-        for k in range(n):
-            row_k = table[k]
-            for i in range(n):
-                through = table[i][k]
-                if not through:
-                    continue
-                row_i = table[i]
-                for j in range(n):
-                    half = row_k[j]
-                    if not half:
-                        continue
-                    cell = row_i[j]
-                    # Guard against mutating a list being iterated when a
-                    # cell participates in its own relaxation (k on the
-                    # i->j diagonal).
-                    left = list(through) if cell is through else through
-                    right = list(half) if cell is half else half
-                    if i == j:
-                        for d1, p1 in left:
-                            for d2, p2 in right:
-                                d, p = d1 + d2, p1 + p2
-                                if _insert(cell, d, p, bound, p_cap) and d > 0:
-                                    if p == 0:
-                                        raise CyclicDependenceError(
-                                            "dependence cycle with zero"
-                                            " iteration difference and"
-                                            " positive delay"
-                                        )
-                                    bound = max(bound, _ceil_div(d, p))
-                    else:
-                        for d1, p1 in left:
-                            for d2, p2 in right:
-                                _insert(cell, d1 + d2, p1 + p2, bound, p_cap)
-        self._table = table
-        self.recurrence_bound = bound
-        self.s_min = max(1, bound if s_min is None else s_min)
-        self._reprune()
-        self._dense: dict[int, list[list[float]]] = {}
+        self._local_edges = _local_edges(self.nodes, edges)
+        self.recurrence_bound = self._search_recurrence_bound()
+        self.s_min = max(1, self.recurrence_bound if s_min is None else s_min)
+        self._sizes: Optional[list[int]] = None
+        self._cp: list[int] = []
+        self._cd: list[int] = []
+        self._multi: dict[int, list[tuple[int, int]]] = {}
+        self._dense: dict[int, list[float]] = {}
+        self._scratch: Optional[list[float]] = None
+        self._csr: Optional[tuple] = None
 
-    def _reprune(self) -> None:
-        """Shrink every frontier to the value rule at ``self.s_min`` (pairs
-        arrive sorted by omega, so in-order reinsertion preserves the
-        invariant)."""
-        s_min = self.s_min
-        for row in self._table:
-            for cell in row:
-                if len(cell) < 2:
+    # -- the recurrence bound -------------------------------------------------
+
+    def _search_recurrence_bound(self) -> int:
+        """Exact ``max(ceil(d(c) / p(c)))`` over dependence cycles.
+
+        An integer ``s`` is *feasible* iff no cycle has positive weight
+        under ``d - s*p`` — monotone in ``s``, since every ``p`` is
+        nonnegative.  One probe is a Bellman-Ford sweep from an implicit
+        all-zero super-source: without a positive cycle the longest walks
+        are simple and converge within ``n`` rounds (detected by a
+        no-change round); a strict improvement in round ``n + 1`` implies
+        a walk that beats every shorter one and therefore contains a
+        positive cycle.
+
+        Instead of bisecting blindly, each failed probe *extracts* the
+        offending cycle from the Bellman-Ford parent pointers (Lawler's
+        ratio search): its exact ratio ``ceil(D / O)`` is a valid lower
+        bound on the answer, and it strictly exceeds the probed ``s``
+        (the cycle was positive there, so ``D / O > s``), so the search
+        jumps straight to a witnessed candidate and typically lands in
+        one or two probes where a bisection pays a logarithm.  The first
+        probe is seeded with the best self-edge ratio, the answer
+        outright for components whose critical recurrence is a self
+        loop.
+
+        ``ub = sum(max(d, 0))`` caps the climb: any cycle with
+        ``O >= 1`` has ``D <= ub <= ub * O``, so a cycle still positive
+        at ``ub`` must have ``O = 0`` — the infeasible-outright case
+        (also raised directly when an extracted cycle has ``O = 0`` with
+        positive delay).
+        """
+        edges = self._local_edges
+        lo = 0
+        ub = 0
+        for src, dst, delay, omega in edges:
+            if delay > 0:
+                ub += delay
+            if src == dst and delay > 0:
+                if omega == 0:
+                    raise CyclicDependenceError(_ZERO_OMEGA_CYCLE)
+                b = -(-delay // omega)
+                if b > lo:
+                    lo = b
+        if not edges:
+            return 0
+        while True:
+            cycle = self._positive_cycle_at(lo)
+            if cycle is None:
+                return lo
+            if lo >= ub:
+                raise CyclicDependenceError(_ZERO_OMEGA_CYCLE)
+            total_delay, total_omega = cycle
+            if total_omega > 0:
+                cand = -(-total_delay // total_omega)
+                lo = cand if cand > lo else lo + 1
+            elif total_delay > 0:
+                raise CyclicDependenceError(_ZERO_OMEGA_CYCLE)
+            else:
+                lo += 1  # defensive: infeasibility alone proves >= lo + 1
+            if lo > ub:
+                lo = ub
+
+    def _positive_cycle_at(self, s: int) -> Optional[tuple[int, int]]:
+        """One Bellman-Ford probe at interval ``s``: ``None`` when no
+        cycle is positive under ``d - s*p``, else the ``(sum d, sum p)``
+        of a witness cycle walked out of the parent pointers (standard
+        negative-cycle recovery, sign-flipped: a round-``n + 1``
+        improvement means the parent graph contains a cycle, and every
+        parent-graph cycle is positive)."""
+        edges = self._local_edges
+        n = self.n
+        dist = [0] * n
+        parent: list[Optional[tuple[int, int, int, int]]] = [None] * n
+        hot = -1
+        for _ in range(n + 1):
+            changed = False
+            for edge in edges:
+                src, dst, delay, omega = edge
+                w = dist[src] + delay - s * omega
+                if w > dist[dst]:
+                    dist[dst] = w
+                    parent[dst] = edge
+                    hot = dst
+                    changed = True
+            if not changed:
+                return None
+        # Walk n parent steps from the last-improved node to guarantee
+        # landing on the cycle, then one lap to sum it up.
+        v = hot
+        for _ in range(n):
+            v = parent[v][0]
+        total_delay = 0
+        total_omega = 0
+        u = v
+        while True:
+            src, _dst, delay, omega = parent[u]
+            total_delay += delay
+            total_omega += omega
+            u = src
+            if u == v:
+                return total_delay, total_omega
+
+    # -- the Pareto frontier table --------------------------------------------
+
+    def _build_table(self) -> None:
+        """The symbolic all-points closure, built once on first query.
+
+        Pairs are pruned with the value rule at the *final* bound
+        ``S = max(recurrence_bound, s_min)`` from the very first
+        insertion — the bound is already exact, so every extra wrap of a
+        cycle is dominated on sight and no re-pruning pass is needed; the
+        zero-omega-positive-cycle case was rejected by the bound search
+        before this runs.  Path iteration differences are additionally
+        capped at ``n * max_omega``, the most any simple path can
+        accumulate.
+
+        Hot layout: in the finished closure the overwhelming majority of
+        cells hold exactly one pair, so cells live in flat parallel
+        arrays — ``cp``/``cd`` hold the single pair of cell ``i*n + j``
+        and ``cv`` its value ``d - S*p`` — with ``sizes`` 0/1/2+
+        discriminating empty, scalar, and the rare multi-pair cells
+        spilled to sorted ``(p, d)`` lists in ``multi``.  The
+        scalar x scalar -> scalar relaxation (the hot case of the
+        Floyd-Warshall pass) is then pure integer adds and compares with
+        no tuple traffic — values are additive, ``v = v_ik + v_kj`` —
+        and the domination logic matches :func:`_insert` exactly.
+        """
+        n = self.n
+        local_edges = self._local_edges
+        max_omega = 0
+        for _src, _dst, _delay, omega in local_edges:
+            if omega > max_omega:
+                max_omega = omega
+        p_cap = n * max_omega
+        bound = self.s_min if self.s_min > self.recurrence_bound \
+            else self.recurrence_bound
+        nn = n * n
+        sizes = [0] * nn
+        cp = [0] * nn
+        cd = [0] * nn
+        cv = [0] * nn
+        multi: dict[int, list[tuple[int, int]]] = {}
+        bisect = bisect_left
+
+        def insert(idx: int, p: int, d: int) -> None:
+            sz = sizes[idx]
+            if sz == 0:
+                cp[idx] = p
+                cd[idx] = d
+                cv[idx] = d - bound * p
+                sizes[idx] = 1
+                return
+            v = d - bound * p
+            if sz == 1:
+                p0 = cp[idx]
+                v0 = cv[idx]
+                if p >= p0:
+                    if v <= v0:
+                        return
+                    if p == p0:
+                        cd[idx] = d
+                        cv[idx] = v
+                    else:
+                        multi[idx] = [(p0, cd[idx]), (p, d)]
+                        sizes[idx] = 2
+                elif v >= v0:
+                    cp[idx] = p
+                    cd[idx] = d
+                    cv[idx] = v
+                else:
+                    multi[idx] = [(p, d), (p0, cd[idx])]
+                    sizes[idx] = 2
+                return
+            cell = multi[idx]
+            ins = bisect(cell, (p,))
+            dom = ins + 1 if ins < sz and cell[ins][0] == p else ins
+            if dom > 0:
+                pd, dd = cell[dom - 1]
+                if dd - bound * pd >= v:
+                    return
+            run = ins
+            while run < sz:
+                pr, dr = cell[run]
+                if dr - bound * pr > v:
+                    break
+                run += 1
+            cell[ins:run] = [(p, d)]
+            if len(cell) == 1:
+                cp[idx] = p
+                cd[idx] = d
+                cv[idx] = v
+                sizes[idx] = 1
+                del multi[idx]
+            else:
+                sizes[idx] = len(cell)
+
+        for src, dst, delay, omega in local_edges:
+            if omega <= p_cap:
+                insert(src * n + dst, omega, delay)
+        for k_mid in range(n):
+            k_base = k_mid * n
+            # Nonempty columns of row k are fixed for this k: inserts into
+            # row k can only happen at i == k, into cells that are already
+            # nonempty (the relaxation needs the cell itself as one half).
+            cols = [kj for kj in range(k_base, k_base + n) if sizes[kj]]
+            if not cols:
+                continue
+            for i in range(n):
+                ik = i * n + k_mid
+                sz_ik = sizes[ik]
+                if not sz_ik:
                     continue
-                pruned: list[tuple[int, int]] = []
-                for d, p in cell:
-                    _insert(pruned, d, p, s_min)
-                cell[:] = pruned
+                delta = i * n - k_base
+                if sz_ik == 1:
+                    # Scalar left operand, read once: later updates to
+                    # (i, k) in this k iteration only describe walks that
+                    # revisit k, which Floyd-Warshall never needs.
+                    p_ik = cp[ik]
+                    d_ik = cd[ik]
+                    v_ik = cv[ik]
+                    for kj in cols:
+                        ij = kj + delta
+                        if sizes[kj] == 1:
+                            p = p_ik + cp[kj]
+                            if p > p_cap:
+                                continue
+                            # The hot body: both operands and the target
+                            # scalar, values additive at the shared bound.
+                            sz = sizes[ij]
+                            if sz == 1:
+                                v = v_ik + cv[kj]
+                                p0 = cp[ij]
+                                if p >= p0:
+                                    if v <= cv[ij]:
+                                        continue
+                                    d = d_ik + cd[kj]
+                                    if p == p0:
+                                        cd[ij] = d
+                                        cv[ij] = v
+                                    else:
+                                        multi[ij] = [(p0, cd[ij]), (p, d)]
+                                        sizes[ij] = 2
+                                elif v >= cv[ij]:
+                                    cp[ij] = p
+                                    cd[ij] = d_ik + cd[kj]
+                                    cv[ij] = v
+                                else:
+                                    multi[ij] = [
+                                        (p, d_ik + cd[kj]),
+                                        (p0, cd[ij]),
+                                    ]
+                                    sizes[ij] = 2
+                            elif sz == 0:
+                                cp[ij] = p
+                                cd[ij] = d_ik + cd[kj]
+                                cv[ij] = v_ik + cv[kj]
+                                sizes[ij] = 1
+                            else:
+                                insert(ij, p, d_ik + cd[kj])
+                        else:
+                            right = multi[kj]
+                            if ij == kj:  # i == k: cell is its own operand
+                                right = list(right)
+                            for p2, d2 in right:
+                                p = p_ik + p2
+                                if p <= p_cap:
+                                    insert(ij, p, d_ik + d2)
+                else:
+                    left_src = multi[ik]
+                    for kj in cols:
+                        ij = kj + delta
+                        if sizes[kj] == 1:
+                            right = ((cp[kj], cd[kj]),)
+                        else:
+                            right = multi[kj]
+                            if ij == kj:
+                                right = list(right)
+                        left = list(left_src) if ij == ik else left_src
+                        for p1, d1 in left:
+                            for p2, d2 in right:
+                                p = p1 + p2
+                                if p <= p_cap:
+                                    insert(ij, p, d1 + d2)
+        self._sizes = sizes
+        self._cp = cp
+        self._cd = cd
+        self._multi = multi
 
     def frontier(self, src: DepNode, dst: DepNode) -> Frontier:
-        return tuple(self._table[self.local[src.index]][self.local[dst.index]])
+        if self._sizes is None:
+            self._build_table()
+        idx = self.local[src.index] * self.n + self.local[dst.index]
+        sz = self._sizes[idx]
+        if sz == 0:
+            return ()
+        if sz == 1:
+            return ((self._cd[idx], self._cp[idx]),)
+        return tuple((d, p) for p, d in self._multi[idx])
 
-    def dense(self, s: int) -> list[list[float]]:
-        """The longest-path matrix at initiation interval ``s`` in local
-        node order, materialized on first use and cached per ``s``.
+    def _build_csr(self) -> tuple:
+        """Flatten the frontier table into parallel pair arrays plus cell
+        starts, so dense materialization is one linear sweep with no
+        per-cell list dispatch.  Built lazily, like the table itself:
+        closures constructed only for their recurrence bound pay for
+        neither."""
+        if self._sizes is None:
+            self._build_table()
+        nn = self.n * self.n
+        sizes = self._sizes
+        starts = [0] * (nn + 1)
+        ds: list[int] = []
+        ps: list[int] = []
+        total = 0
+        for c in range(nn):
+            sz = sizes[c]
+            if sz == 1:
+                total += 1
+                ps.append(self._cp[c])
+                ds.append(self._cd[c])
+            elif sz:
+                total += sz
+                for p, d in self._multi[c]:
+                    ps.append(p)
+                    ds.append(d)
+            starts[c + 1] = total
+        if _np is not None:
+            nz_cells = [c for c in range(nn) if sizes[c]]
+            csr = (
+                starts,
+                _np.asarray(ds, dtype=_np.float64),
+                _np.asarray(ps, dtype=_np.float64),
+                _np.asarray(nz_cells, dtype=_np.intp),
+                _np.asarray(
+                    [starts[c] for c in nz_cells], dtype=_np.intp
+                ),
+            )
+        else:
+            csr = (starts, ds, ps, None, None)
+        self._csr = csr
+        return csr
+
+    def dense(self, s: int) -> list[float]:
+        """The flat longest-path matrix at initiation interval ``s`` in
+        local node order (row stride :attr:`n`), materialized on first use
+        and cached per ``s``.
 
         The scheduler's inner loop touches O(n^2) entries per attempt, so
         after the one-time materialization every lookup is a flat array
-        index instead of a frontier scan.
+        index instead of a frontier scan.  The cache keeps the *first*
+        :data:`_DENSE_CACHE_LIMIT` intervals it sees: the access pattern
+        is a linear climb from ``s_min`` replayed from the bottom on every
+        repeat schedule, so keeping the lowest intervals is the Belady
+        choice (evicting the oldest would discard exactly the entries the
+        replay needs first, degenerating to all-miss thrash on climbs
+        longer than the window).  Past the window, one scratch buffer per
+        closure is overwritten in place for each overflow interval
+        (``closure_buffer_reuses``), so even an unbounded climb allocates
+        a bounded number of matrices.  A scratch-served matrix is valid
+        until the next over-window ``dense`` call on this closure — the
+        same lifetime evict-and-reuse gave, and longer than any caller
+        holds one.
         """
         if s < self.s_min:
             raise ValueError(f"s={s} below the symbolic validity bound {self.s_min}")
-        cached = self._dense.get(s)
+        cache = self._dense
+        cached = cache.get(s)
         if cached is not None:
             obs.count("dense_cache_hits")
             return cached
         obs.count("dense_cache_misses")
-        matrix = [
-            [
-                max(d - s * p for d, p in cell) if cell else NEG_INF
-                for cell in row
-            ]
-            for row in self._table
-        ]
-        self._dense[s] = matrix
-        return matrix
+        csr = self._csr
+        if csr is None:
+            csr = self._build_csr()
+        starts, ds, ps, nz_cells, nz_starts = csr
+        n2 = self.n * self.n
+        buf: Optional[list[float]] = None
+        overflow = len(cache) >= _DENSE_CACHE_LIMIT
+        if overflow:
+            buf = self._scratch
+            if buf is not None:
+                obs.count("closure_buffer_reuses")
+        if _np is not None and nz_cells is not None:
+            out = _np.full(n2, NEG_INF)
+            if len(nz_cells):
+                out[nz_cells] = _np.maximum.reduceat(ds - s * ps, nz_starts)
+            if buf is None:
+                buf = out.tolist()
+            else:
+                buf[:] = out.tolist()
+        else:
+            if buf is None:
+                buf = [NEG_INF] * n2
+            k = 0
+            for c in range(n2):
+                end = starts[c + 1]
+                if k == end:
+                    buf[c] = NEG_INF
+                    continue
+                best = ds[k] - s * ps[k]
+                k += 1
+                while k < end:
+                    v = ds[k] - s * ps[k]
+                    k += 1
+                    if v > best:
+                        best = v
+                buf[c] = best
+        if overflow:
+            self._scratch = buf
+        else:
+            cache[s] = buf
+        return buf
 
     def evaluate(self, src: DepNode, dst: DepNode, s: int) -> float:
         """Longest path length src -> dst at initiation interval ``s``."""
-        return self.dense(s)[self.local[src.index]][self.local[dst.index]]
+        return self.dense(s)[
+            self.local[src.index] * self.n + self.local[dst.index]
+        ]

@@ -81,13 +81,14 @@ def _longest_paths_at(
                 raise InfeasibleInterval(
                     f"s={s} below component recurrence bound {paths.s_min}"
                 )
-            block = paths.dense(s)
+            block = paths.dense(s)  # flat, row stride paths.n
+            stride = paths.n
             members = prepared.components[slot]
-            for a, src in enumerate(members):
+            for src in members:
                 row = dist[local[src.index]]
-                src_local = paths.local[src.index]
-                for b, dst in enumerate(members):
-                    row[local[dst.index]] = block[src_local][paths.local[dst.index]]
+                src_base = paths.local[src.index] * stride
+                for dst in members:
+                    row[local[dst.index]] = block[src_base + paths.local[dst.index]]
     for edge in graph.edges:
         i, j = local[edge.src.index], local[edge.dst.index]
         weight = edge.delay - s * edge.omega

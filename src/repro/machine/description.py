@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.machine.packed import PackedReservation
 from repro.machine.resources import ReservationTable, Resource
 
 
@@ -26,6 +27,12 @@ class OpClass:
     def __post_init__(self) -> None:
         if self.latency < 0:
             raise ValueError(f"op class {self.name!r}: negative latency")
+
+
+#: Packed-reservation memo size per machine.  Op-class tables (a few
+#: dozen, shared across nodes) plus the working set of transient cluster
+#: aggregates fit comfortably; eviction is FIFO and merely costs a repack.
+_PACKED_CACHE_LIMIT = 512
 
 
 class MachineDescription:
@@ -53,6 +60,21 @@ class MachineDescription:
             if res.name in self.resources:
                 raise ValueError(f"duplicate resource {res.name!r}")
             self.resources[res.name] = res.count
+        # Interned resource identities: every resource gets a dense index
+        # (description order) so the scheduler's hot paths deal in small
+        # integers instead of name strings.  ``unit_bits[rid]`` is the
+        # bitmask bit for unit-capacity resources (0 for multi-capacity
+        # ones, which are tracked by counters, never by bits).
+        self.resource_names: tuple[str, ...] = tuple(self.resources)
+        self.resource_index: dict[str, int] = {
+            rname: rid for rid, rname in enumerate(self.resource_names)
+        }
+        self.unit_counts: tuple[int, ...] = tuple(self.resources.values())
+        self.unit_bits: tuple[int, ...] = tuple(
+            (1 << rid) if count == 1 else 0
+            for rid, count in enumerate(self.unit_counts)
+        )
+        self._packed: dict[int, tuple[ReservationTable, PackedReservation]] = {}
         self.op_classes = dict(op_classes)
         self.num_registers = num_registers
         self.clock_mhz = clock_mhz
@@ -85,6 +107,26 @@ class MachineDescription:
 
     def units(self, resource: str) -> int:
         return self.resources[resource]
+
+    def packed(self, reservation: ReservationTable) -> PackedReservation:
+        """``reservation`` compiled to this machine's integer layout,
+        memoized by table identity.
+
+        Identity (not content) keying makes the memo a plain dict probe:
+        op-class tables are shared objects, so every node of one opcode
+        hits the same entry.  The strong table reference keeps ids from
+        being recycled; the cache is bounded because cluster aggregates
+        are transient (one per scheduled component per II attempt).
+        """
+        key = id(reservation)
+        hit = self._packed.get(key)
+        if hit is not None and hit[0] is reservation:
+            return hit[1]
+        packed = PackedReservation.compile(reservation, self)
+        if len(self._packed) >= _PACKED_CACHE_LIMIT:
+            self._packed.pop(next(iter(self._packed)))
+        self._packed[key] = (reservation, packed)
+        return packed
 
     def is_flop(self, opcode: str) -> bool:
         """Whether ``opcode`` counts as one floating-point operation when
